@@ -1,0 +1,20 @@
+"""Analysis studies: working set (Fig 3), context locality (Fig 5),
+LLBP effectiveness breakdown (Fig 15)."""
+
+from repro.analysis.working_set import (
+    cumulative_misprediction_fractions,
+    top_branch_share,
+    useful_patterns_study,
+)
+from repro.analysis.contexts import patterns_per_context_study, ContextStudyResult
+from repro.analysis.breakdown import override_breakdown, OverrideBreakdown
+
+__all__ = [
+    "cumulative_misprediction_fractions",
+    "top_branch_share",
+    "useful_patterns_study",
+    "patterns_per_context_study",
+    "ContextStudyResult",
+    "override_breakdown",
+    "OverrideBreakdown",
+]

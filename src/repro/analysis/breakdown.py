@@ -1,0 +1,68 @@
+"""LLBP prediction breakdown (paper §VII-G, Fig 15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass
+class OverrideBreakdown:
+    """Fig 15's categories, as fractions of all conditional predictions."""
+
+    predictions: int
+    provided: float            # LLBP matched a pattern
+    no_override: float         # matched, but shorter than TAGE's provider
+    good_override: float       # LLBP right where the baseline was wrong
+    bad_override: float        # LLBP wrong where the baseline was right
+    both_correct: float        # redundant override
+    both_wrong: float
+
+    @property
+    def override_rate_of_provided(self) -> float:
+        """Share of LLBP-provided predictions that override (paper: 77%)."""
+        if self.provided <= 0:
+            return 0.0
+        return (self.provided - self.no_override) / self.provided
+
+    @property
+    def bad_share_of_overrides(self) -> float:
+        """Share of overrides that are incorrect (paper: 6.8%)."""
+        overrides = self.provided - self.no_override
+        if overrides <= 0:
+            return 0.0
+        return (self.bad_override + self.both_wrong) / overrides
+
+    @property
+    def redundant_share_of_overrides(self) -> float:
+        """Share of overrides where the baseline agreed (paper: 59%)."""
+        overrides = self.provided - self.no_override
+        if overrides <= 0:
+            return 0.0
+        return (self.both_correct + self.both_wrong) / overrides
+
+
+def override_breakdown(result: SimulationResult) -> OverrideBreakdown:
+    """Extract Fig 15's breakdown from an LLBP simulation result."""
+    return breakdown_from_counts(result.extra)
+
+
+def breakdown_from_counts(extra: Mapping[str, float]) -> OverrideBreakdown:
+    predictions = int(extra.get("predictions", 0))
+    if predictions <= 0:
+        raise ValueError("result does not carry LLBP prediction counts")
+
+    def frac(key: str) -> float:
+        return extra.get(key, 0) / predictions
+
+    return OverrideBreakdown(
+        predictions=predictions,
+        provided=frac("llbp_provided"),
+        no_override=frac("no_override"),
+        good_override=frac("override_good"),
+        bad_override=frac("override_bad"),
+        both_correct=frac("override_both_correct"),
+        both_wrong=frac("override_both_wrong"),
+    )

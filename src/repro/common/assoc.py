@@ -1,0 +1,93 @@
+"""A generic set-associative container with pluggable replacement.
+
+The pattern buffer, context directory and L1-I model are all
+set-associative structures that differ only in geometry and replacement
+policy.  ``SetAssociative`` factors out the mechanics (set indexing, tag
+match, victim selection) so each structure only supplies its policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class SetAssociative(Generic[V]):
+    """Set-associative map from integer keys to values.
+
+    Keys are split into ``set index = key % num_sets`` and a tag (the full
+    key is kept, so no aliasing is introduced by the container itself —
+    callers model tag truncation by pre-hashing their keys).
+
+    Replacement is LRU by default; a ``victim_picker`` callback can override
+    it (used by the context directory's confidence-based policy).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        victim_picker: Optional[Callable[[List[Tuple[int, V]]], int]] = None,
+    ) -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._victim_picker = victim_picker
+        # Each set is an ordered dict-like list: index 0 = LRU, -1 = MRU.
+        self._sets: List[Dict[int, V]] = [dict() for _ in range(num_sets)]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sets[key % self.num_sets]
+
+    def set_of(self, key: int) -> Dict[int, V]:
+        return self._sets[key % self.num_sets]
+
+    def get(self, key: int, touch: bool = True) -> Optional[V]:
+        """Return the value for ``key`` or None; refresh LRU on hit."""
+        s = self._sets[key % self.num_sets]
+        value = s.get(key)
+        if value is not None and touch:
+            # dicts preserve insertion order; re-insert to mark MRU.
+            del s[key]
+            s[key] = value
+        return value
+
+    def peek(self, key: int) -> Optional[V]:
+        return self.get(key, touch=False)
+
+    def insert(self, key: int, value: V) -> Optional[Tuple[int, V]]:
+        """Insert ``key`` (marking it MRU); return the evicted pair, if any."""
+        s = self._sets[key % self.num_sets]
+        evicted: Optional[Tuple[int, V]] = None
+        if key in s:
+            del s[key]
+        elif len(s) >= self.ways:
+            victim_key = self._pick_victim(s)
+            evicted = (victim_key, s.pop(victim_key))
+        s[key] = value
+        return evicted
+
+    def _pick_victim(self, s: Dict[int, V]) -> int:
+        if self._victim_picker is None:
+            return next(iter(s))  # LRU == oldest insertion.
+        idx = self._victim_picker(list(s.items()))
+        if not 0 <= idx < len(s):
+            raise IndexError("victim picker returned an invalid way index")
+        return list(s.keys())[idx]
+
+    def remove(self, key: int) -> Optional[V]:
+        s = self._sets[key % self.num_sets]
+        return s.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        for s in self._sets:
+            yield from s.items()
+
+    def clear(self) -> None:
+        for s in self._sets:
+            s.clear()

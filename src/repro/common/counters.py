@@ -1,0 +1,91 @@
+"""Saturating counters, the basic state element of branch predictors."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """A signed saturating counter in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+
+    The sign encodes the predicted direction (``>= 0`` means taken), the
+    magnitude encodes confidence.  This matches TAGE's 3-bit prediction
+    counters and LLBP's pattern counters.
+    """
+
+    __slots__ = ("value", "lo", "hi")
+
+    def __init__(self, bits: int = 3, value: int = 0) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.lo = -(1 << (bits - 1))
+        self.hi = (1 << (bits - 1)) - 1
+        if not self.lo <= value <= self.hi:
+            raise ValueError(f"initial value {value} out of range")
+        self.value = value
+
+    @property
+    def taken(self) -> bool:
+        return self.value >= 0
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            if self.value < self.hi:
+                self.value += 1
+        elif self.value > self.lo:
+            self.value -= 1
+
+    def set_weak(self, taken: bool) -> None:
+        """Initialise to the low-confidence value for ``taken``."""
+        self.value = 0 if taken else -1
+
+    def is_high_confidence(self) -> bool:
+        """True when within one step of saturation (cf. LLBP's CD policy)."""
+        return self.value >= self.hi - 1 or self.value <= self.lo + 1
+
+    def is_weak(self) -> bool:
+        return self.value in (0, -1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter({self.value} in [{self.lo},{self.hi}])"
+
+
+def ctr_update(value: int, taken: bool, lo: int, hi: int) -> int:
+    """Functional form of the saturating update, for hot inner loops."""
+    if taken:
+        return value + 1 if value < hi else value
+    return value - 1 if value > lo else value
+
+
+class WidthCounter:
+    """An unsigned saturating counter in ``[0, 2**bits - 1]``.
+
+    Used for usefulness bits, confidence/age fields and the allocation
+    "tick" throttle in TAGE.
+    """
+
+    __slots__ = ("value", "hi")
+
+    def __init__(self, bits: int = 2, value: int = 0) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.hi = (1 << bits) - 1
+        if not 0 <= value <= self.hi:
+            raise ValueError(f"initial value {value} out of range")
+        self.value = value
+
+    def increment(self) -> None:
+        if self.value < self.hi:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    @property
+    def saturated(self) -> bool:
+        return self.value == self.hi
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WidthCounter({self.value}/{self.hi})"

@@ -1,0 +1,40 @@
+"""Deterministic pseudo-random number generator for allocation decisions.
+
+Hardware branch predictors use small LFSRs to randomise table allocation;
+using Python's global ``random`` would make simulations irreproducible and
+couple unrelated components.  Every predictor owns its own ``XorShift32``
+instance seeded from its configuration, so a given (config, trace) pair
+always produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+
+class XorShift32:
+    """Marsaglia xorshift32: tiny, fast and deterministic."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int = 0x2545F491) -> None:
+        self.state = seed & 0xFFFFFFFF
+        if self.state == 0:
+            self.state = 0x2545F491
+
+    def next(self) -> int:
+        """Return the next 32-bit value."""
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x
+
+    def below(self, bound: int) -> int:
+        """Return a value in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next() % bound
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        """Return True with probability ``numerator / denominator``."""
+        return self.below(denominator) < numerator

@@ -1,0 +1,24 @@
+"""Analytic SRAM latency/energy model (paper Table III, Fig 12).
+
+The paper uses CACTI 7.0 at 22nm; offline we fit a capacity/width scaling
+model to the relative numbers Table III reports and use it to derive
+per-access latency (in cycles at 4GHz) and energy for every structure,
+plus access-frequency-weighted totals for Fig 12.
+"""
+
+from repro.energy.sram import SramModel, SramStructure
+from repro.energy.model import (
+    EnergyModel,
+    StructureEnergy,
+    TABLE3_STRUCTURES,
+    table3_rows,
+)
+
+__all__ = [
+    "SramModel",
+    "SramStructure",
+    "EnergyModel",
+    "StructureEnergy",
+    "TABLE3_STRUCTURES",
+    "table3_rows",
+]

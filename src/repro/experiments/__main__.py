@@ -1,0 +1,69 @@
+"""Regenerate the paper's full evaluation from the command line.
+
+Usage::
+
+    python -m repro.experiments [fig01 fig02 ... table3]
+
+With no arguments every experiment runs (simulation results are cached,
+so reruns are cheap).  Honours REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
+    fig15, tables,
+)
+
+_EXPERIMENTS = {
+    "table1": ("Table I — workloads",
+               lambda: tables.format_table1(tables.table1())),
+    "table2": ("Table II — simulated core",
+               lambda: tables.format_table2(tables.table2())),
+    "table3": ("Table III — latency/energy",
+               lambda: tables.format_table3(tables.table3())),
+    "fig01": ("Fig 1 — wasted cycles",
+              lambda: fig01.format_rows(fig01.run())),
+    "fig02": ("Fig 2 — TAGE in the limit",
+              lambda: fig02.format_rows(fig02.run())),
+    "fig03": ("Fig 3 — working set (Tomcat)",
+              lambda: fig03.format_rows(fig03.run())),
+    "fig05": ("Fig 5 — context locality",
+              lambda: fig05.format_rows(fig05.run())),
+    "fig09": ("Fig 9 — MPKI reduction",
+              lambda: fig09.format_rows(fig09.run())),
+    "fig10": ("Fig 10 — speedup",
+              lambda: fig10.format_rows(fig10.run())),
+    "fig11": ("Fig 11 — bandwidth",
+              lambda: fig11.format_rows(fig11.run())),
+    "fig12": ("Fig 12 — energy",
+              lambda: fig12.format_rows(fig12.run())),
+    "fig13": ("Fig 13 — CID sensitivity",
+              lambda: fig13.format_rows(fig13.run())),
+    "fig14": ("Fig 14 — pattern sets",
+              lambda: fig14.format_rows(fig14.run())),
+    "fig15": ("Fig 15 — LLBP effectiveness",
+              lambda: fig15.format_rows(fig15.run())),
+}
+
+
+def main(argv) -> int:
+    names = argv or list(_EXPERIMENTS)
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {list(_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        title, runner = _EXPERIMENTS[name]
+        start = time.time()
+        body = runner()
+        print(f"\n=== {title} ({time.time() - start:.1f}s) ===")
+        print(body)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,44 @@
+"""Fig 1: execution cycles wasted on conditional branch mispredictions.
+
+Paper (Sapphire Rapids hardware study): 3.6-20% of cycles, 9.2% average.
+Here: the 64K TSL simulation's MPKI through the analytic core model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import geomean
+from repro.experiments.common import experiment_workloads, format_table
+from repro.experiments.runner import get_result
+from repro.sim.core import CoreModel
+
+
+def run(workloads: Optional[Sequence[str]] = None,
+        core: Optional[CoreModel] = None) -> List[Dict[str, object]]:
+    if workloads is None:
+        workloads = experiment_workloads()
+    if core is None:
+        core = CoreModel()
+
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        result = get_result(workload, "tsl64")
+        timing = core.timing(result)
+        rows.append({
+            "workload": workload,
+            "mpki": result.mpki,
+            "wasted_cycles_pct": 100.0 * timing.wasted_fraction,
+        })
+    rows.append({
+        "workload": "GMean",
+        "mpki": geomean(max(r["mpki"], 1e-9) for r in rows),
+        "wasted_cycles_pct": geomean(
+            max(r["wasted_cycles_pct"], 1e-9) for r in rows
+        ),
+    })
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["workload", "mpki", "wasted_cycles_pct"])

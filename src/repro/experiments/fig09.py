@@ -1,0 +1,41 @@
+"""Fig 9: branch MPKI reduction over 64K TSL.
+
+Paper: LLBP 0.5-25.9% (avg 8.9%); LLBP-0Lat avg 9.9% (LLBP reaches ~90%
+of the no-latency ideal); 512K TSL avg 27.3% (~3x LLBP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import mean
+from repro.experiments.common import experiment_workloads, format_table
+from repro.experiments.runner import get_result
+
+CONFIGS = ("llbp", "llbp:lat0", "tsl512")
+LABELS = {"llbp": "LLBP", "llbp:lat0": "LLBP-0Lat", "tsl512": "512K TSL"}
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    if workloads is None:
+        workloads = experiment_workloads()
+
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        base = get_result(workload, "tsl64")
+        row: Dict[str, object] = {"workload": workload, "base_mpki": base.mpki}
+        for key in CONFIGS:
+            result = get_result(workload, key)
+            row[LABELS[key]] = result.mpki_reduction_vs(base)
+        rows.append(row)
+
+    summary: Dict[str, object] = {"workload": "Mean",
+                                  "base_mpki": mean(r["base_mpki"] for r in rows)}
+    for key in CONFIGS:
+        summary[LABELS[key]] = mean(r[LABELS[key]] for r in rows)
+    rows.append(summary)
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["workload", "base_mpki", *LABELS.values()])

@@ -1,0 +1,50 @@
+"""Fig 10: speedup over 64K TSL via the analytic core model.
+
+Paper (ChampSim): LLBP +0.63% avg, LLBP-0Lat +0.71%, 512K TSL +1.26%,
+perfect conditional BP +3.6% (noting their core model under-reports the
+perfect-BP headroom versus the hardware top-down study).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import geomean
+from repro.experiments.common import experiment_workloads, format_table
+from repro.experiments.runner import get_result
+from repro.sim.core import CoreModel
+
+CONFIGS = ("llbp", "llbp:lat0", "tsl512", "perfect")
+LABELS = {
+    "llbp": "LLBP",
+    "llbp:lat0": "LLBP-0Lat",
+    "tsl512": "512K TSL",
+    "perfect": "Perfect BP",
+}
+
+
+def run(workloads: Optional[Sequence[str]] = None,
+        core: Optional[CoreModel] = None) -> List[Dict[str, object]]:
+    if workloads is None:
+        workloads = experiment_workloads()
+    if core is None:
+        core = CoreModel()
+
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        base_timing = core.timing(get_result(workload, "tsl64"))
+        row: Dict[str, object] = {"workload": workload}
+        for key in CONFIGS:
+            timing = core.timing(get_result(workload, key))
+            row[LABELS[key]] = timing.speedup_over(base_timing)
+        rows.append(row)
+
+    summary: Dict[str, object] = {"workload": "GMean"}
+    for key in CONFIGS:
+        summary[LABELS[key]] = geomean(r[LABELS[key]] for r in rows)
+    rows.append(summary)
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["workload", *LABELS.values()])

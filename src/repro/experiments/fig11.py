@@ -1,0 +1,68 @@
+"""Fig 11: LLBP <-> PB transfer bandwidth vs the L1-I miss traffic.
+
+Paper: 16-entry PB moves 9.9 read + 2.2 write bits/instruction; a
+64-entry PB cuts the total ~19% (8.6 read bits/instr, ~41% below the
+L1-I's miss traffic); a 256-entry PB drops below one byte/instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import mean
+from repro.experiments.common import (
+    experiment_instructions,
+    experiment_workloads,
+    format_table,
+)
+from repro.experiments.runner import get_result
+from repro.sim.icache import simulate_icache
+from repro.workloads.catalog import generate_workload
+
+PB_SIZES = (16, 64, 256)
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    if workloads is None:
+        workloads = experiment_workloads()[:3]
+
+    rows: List[Dict[str, object]] = []
+    for entries in PB_SIZES:
+        key = "llbp" if entries == 64 else f"llbp:pb={entries}"
+        reads: List[float] = []
+        writes: List[float] = []
+        for workload in workloads:
+            result = get_result(workload, key)
+            # Counters cover the whole run; normalise by all instructions.
+            instructions = result.instructions + result.warmup_instructions
+            reads.append(result.extra.get("read_bits", 0) / instructions)
+            writes.append(result.extra.get("write_bits", 0) / instructions)
+        rows.append({
+            "structure": f"{entries}-entry PB",
+            "read_bits_per_instr": mean(reads),
+            "write_bits_per_instr": mean(writes),
+            "total_bits_per_instr": mean(reads) + mean(writes),
+        })
+
+    # Yardstick: L1-I miss traffic (demand + next-line prefetch).
+    instructions = experiment_instructions()
+    icache_bits: List[float] = []
+    for workload in workloads:
+        trace = generate_workload(workload, instructions)
+        icache = simulate_icache(trace, warmup_instructions=instructions // 3)
+        icache_bits.append(icache.bits_per_instruction)
+    rows.append({
+        "structure": "L1I misses",
+        "read_bits_per_instr": mean(icache_bits),
+        "write_bits_per_instr": 0.0,
+        "total_bits_per_instr": mean(icache_bits),
+    })
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        ["structure", "read_bits_per_instr", "write_bits_per_instr",
+         "total_bits_per_instr"],
+    )

@@ -1,0 +1,70 @@
+"""Fig 12: access-frequency-weighted energy relative to 64K TSL.
+
+Paper: all LLBP structures together consume 51-57% of 64K TSL's energy;
+LLBP + baseline = 1.53x; a 512K TSL = ~4.5x; the 64-entry PB is the
+sweet spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import mean
+from repro.energy.model import EnergyModel
+from repro.experiments.common import experiment_workloads, format_table
+from repro.experiments.runner import get_result
+
+PB_SIZES = (16, 64, 256)
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    if workloads is None:
+        workloads = experiment_workloads()[:3]
+    model = EnergyModel()
+
+    rows: List[Dict[str, object]] = []
+
+    def add_row(name: str, components: Dict[str, float]) -> None:
+        total = sum(components.values())
+        rows.append({"design": name, **components, "total_rel": total})
+
+    # Compute per-workload breakdowns normalised to that workload's 64K
+    # TSL energy, then average across workloads.
+    designs: Dict[str, List[Dict[str, float]]] = {}
+    for workload in workloads:
+        baseline = model.tsl_design("64KiB TSL")
+        scaled = model.tsl_design("512KiB TSL", capacity_kib=512)
+        per_design = {
+            "64KiB TSL": baseline,
+            "512KiB TAGE": scaled,
+        }
+        predictions = 1
+        for entries in PB_SIZES:
+            key = "llbp" if entries == 64 else f"llbp:pb={entries}"
+            result = get_result(workload, key)
+            extra = result.extra
+            per_design[f"{entries}-Entry PB"] = model.llbp_design(
+                predictions=int(extra.get("predictions", 1)),
+                cd_accesses=int(extra.get("cd_accesses", 0)),
+                llbp_accesses=int(extra.get("llbp_accesses", 0)),
+                pb_entries=entries,
+            )
+        scale = baseline.total
+        for name, breakdown in per_design.items():
+            norm = {k: v / scale for k, v in breakdown.components.items()}
+            designs.setdefault(name, []).append(norm)
+
+    component_names = ["TAGE-SC-L", "CD", "PB", "LLBP"]
+    for name, norms in designs.items():
+        merged: Dict[str, float] = {}
+        for comp in component_names:
+            values = [n.get(comp, 0.0) for n in norms]
+            merged[comp] = mean(values)
+        add_row(name, merged)
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    return format_table(
+        rows, ["design", "TAGE-SC-L", "CD", "PB", "LLBP", "total_rel"]
+    )

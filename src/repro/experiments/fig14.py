@@ -1,0 +1,55 @@
+"""Fig 14: sensitivity to the number of pattern sets and patterns per set.
+
+Paper (LLBP-0Lat, no bucketing): 16K contexts x 8 patterns gives 11%
+reduction; doubling to 16 patterns adds 2.6%; 32 and 64 diminish; MPKI
+reduction scales with context count until ~14K (the chosen design point,
+~512KiB).  Capacities here are scaled by CAPACITY_SCALE (DESIGN.md §1):
+the paper's 8K-128K context range maps to 2K-32K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import mean
+from repro.experiments.common import experiment_workloads, format_table
+from repro.experiments.runner import get_result
+from repro.llbp.config import LLBPConfig
+
+#: cd_set_bits values; contexts = 2**bits * 7 ways.
+SET_BITS = (8, 9, 10, 11)
+PATTERNS = (8, 16, 32)
+
+
+def run(workloads: Optional[Sequence[str]] = None,
+        set_bits: Sequence[int] = SET_BITS,
+        pattern_sizes: Sequence[int] = PATTERNS) -> List[Dict[str, object]]:
+    if workloads is None:
+        workloads = experiment_workloads()[:1]
+
+    rows: List[Dict[str, object]] = []
+    for bits in set_bits:
+        for patterns in pattern_sizes:
+            key = f"llbp:lat0,unbucketed,cd_bits={bits},ps={patterns}"
+            reductions = []
+            for workload in workloads:
+                base = get_result(workload, "tsl64")
+                result = get_result(workload, key)
+                reductions.append(result.mpki_reduction_vs(base))
+            config = LLBPConfig()
+            contexts = (1 << bits) * config.cd_ways
+            capacity_kib = contexts * patterns * config.pattern_bits / 8 / 1024
+            rows.append({
+                "contexts": contexts,
+                "patterns_per_set": patterns,
+                "capacity_kib": capacity_kib,
+                "mpki_reduction_pct": mean(reductions),
+            })
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        ["contexts", "patterns_per_set", "capacity_kib", "mpki_reduction_pct"],
+    )

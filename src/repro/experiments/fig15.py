@@ -1,0 +1,52 @@
+"""Fig 15: breakdown of LLBP predictions.
+
+Paper: LLBP provides a prediction for 14.8% of dynamic conditional
+branches; of those it overrides the baseline in 77%; only 6.8% of
+overrides are incorrect; 59% are redundant (baseline agreed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.breakdown import override_breakdown
+from repro.common.stats import mean
+from repro.experiments.common import experiment_workloads, format_table
+from repro.experiments.runner import get_result
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    if workloads is None:
+        workloads = experiment_workloads()
+
+    per_workload: List[Dict[str, object]] = []
+    for workload in workloads:
+        b = override_breakdown(get_result(workload, "llbp"))
+        per_workload.append({
+            "workload": workload,
+            "provided_pct": 100 * b.provided,
+            "no_override_pct": 100 * b.no_override,
+            "good_pct": 100 * b.good_override,
+            "bad_pct": 100 * b.bad_override,
+            "both_correct_pct": 100 * b.both_correct,
+            "both_wrong_pct": 100 * b.both_wrong,
+            "override_rate_pct": 100 * b.override_rate_of_provided,
+            "bad_share_pct": 100 * b.bad_share_of_overrides,
+            "redundant_share_pct": 100 * b.redundant_share_of_overrides,
+        })
+
+    summary = {"workload": "Mean"}
+    for key in per_workload[0]:
+        if key != "workload":
+            summary[key] = mean(r[key] for r in per_workload)
+    per_workload.append(summary)
+    return {"rows": per_workload}
+
+
+def format_rows(data: Dict[str, object]) -> str:
+    return format_table(
+        data["rows"],
+        ["workload", "provided_pct", "no_override_pct", "good_pct", "bad_pct",
+         "both_correct_pct", "both_wrong_pct", "override_rate_pct",
+         "bad_share_pct", "redundant_share_pct"],
+    )

@@ -1,0 +1,206 @@
+"""Predictor registry and the cached simulation runner.
+
+Predictor keys are strings so results can be cached on disk and shared
+across figures.  Plain keys name the paper's standard configurations;
+``llbp`` keys accept a parameter suffix for the sensitivity studies:
+
+    llbp                       the evaluated design (timed prefetch)
+    llbp:lat0                  LLBP-0Lat
+    llbp:lat0,w=16,d=0         context window / prefetch distance override
+    llbp:src=callret           RCR source (uncond | callret | all)
+    llbp:cd_bits=10,ps=32      directory sets / patterns per set
+    llbp:unbucketed,lru        ablation switches
+    llbp:exclusive             the paper's exclusive provider training
+
+Results are cached under the cache directory keyed by (workload,
+instructions, key, RESULTS_VERSION); bump RESULTS_VERSION whenever
+predictor or workload behaviour changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.llbp.config import ContextSource, LLBPConfig
+from repro.llbp.predictor import LLBPTageScL
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import Bimodal
+from repro.predictors.gshare import GShare
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.presets import tage_infinite, tsl_64k, tsl_infinite, tsl_scaled
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult
+from repro.workloads.catalog import generate_workload
+
+RESULTS_VERSION = 5
+
+_SIMPLE_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
+    "bimodal": Bimodal,
+    "gshare": GShare,
+    "perfect": PerfectPredictor,
+    "tsl64": tsl_64k,
+    "tsl128": lambda: tsl_scaled(2),
+    "tsl256": lambda: tsl_scaled(4),
+    "tsl512": lambda: tsl_scaled(8),
+    "tsl1m": lambda: tsl_scaled(16),
+    "inf-tage": tage_infinite,
+    "inf-tsl": tsl_infinite,
+}
+
+_SOURCES = {
+    "uncond": ContextSource.UNCONDITIONAL,
+    "callret": ContextSource.CALL_RET,
+    "all": ContextSource.ALL,
+}
+
+
+def _parse_llbp_key(spec: str) -> LLBPConfig:
+    config = LLBPConfig()
+    if not spec:
+        return config
+    changes: Dict[str, object] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token == "lat0":
+            changes["simulate_timing"] = False
+        elif token == "virt":
+            # §V-A's future-work variant: pattern sets live in the L2
+            # rather than a dedicated array, so fetches pay an L2-like
+            # latency instead of the 6-cycle dedicated-array access.
+            changes["prefetch_latency_cycles"] = 16
+        elif token == "unbucketed":
+            changes["bucketed"] = False
+        elif token == "lru":
+            changes["cd_replacement"] = "lru"
+        elif token == "exclusive":
+            changes["exclusive_provider_training"] = True
+        elif token == "frontend":
+            changes["model_frontend_redirects"] = True
+        elif token == "noguard":
+            changes["weak_override_guard"] = False
+        elif "=" in token:
+            name, value = token.split("=", 1)
+            if name == "w":
+                changes["context_window"] = int(value)
+            elif name == "d":
+                changes["prefetch_distance"] = int(value)
+            elif name == "src":
+                changes["context_source"] = _SOURCES[value]
+            elif name == "cd_bits":
+                changes["cd_set_bits"] = int(value)
+            elif name == "ps":
+                changes["patterns_per_set"] = int(value)
+            elif name == "pb":
+                changes["pb_entries"] = int(value)
+            elif name == "lat":
+                changes["prefetch_latency_cycles"] = int(value)
+            else:
+                raise ValueError(f"unknown LLBP parameter {name!r}")
+        else:
+            raise ValueError(f"unknown LLBP token {token!r}")
+    if changes.get("bucketed") is False and "patterns_per_set" in changes:
+        # Unbucketed sets of arbitrary size keep the full slot-length list.
+        pass
+    return dataclasses.replace(config, **changes)
+
+
+def resolve_predictor(key: str) -> BranchPredictor:
+    """Instantiate the predictor named by ``key`` (see module docstring)."""
+    if key in _SIMPLE_FACTORIES:
+        return _SIMPLE_FACTORIES[key]()
+    if key == "llbp":
+        return LLBPTageScL(LLBPConfig())
+    if key.startswith("llbp:"):
+        return LLBPTageScL(_parse_llbp_key(key[len("llbp:"):]))
+    raise KeyError(f"unknown predictor key {key!r}")
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env) if env else Path.home() / ".cache" / "repro-llbp"
+    return base / "results"
+
+
+def _cache_enabled() -> bool:
+    return os.environ.get("REPRO_RESULT_CACHE", "1") != "0"
+
+
+def _cache_path(workload: str, instructions: int, key: str) -> Path:
+    safe = key.replace(":", "_").replace(",", "+").replace("=", "-")
+    return _cache_dir() / f"{workload}-i{instructions}-{safe}-v{RESULTS_VERSION}.json"
+
+
+def _to_json(result: SimulationResult) -> dict:
+    return {
+        "workload": result.workload,
+        "predictor": result.predictor,
+        "instructions": result.instructions,
+        "warmup_instructions": result.warmup_instructions,
+        "branches": result.branches,
+        "cond_branches": result.cond_branches,
+        "mispredictions": result.mispredictions,
+        "per_pc_mispredictions": {str(k): v for k, v in result.per_pc_mispredictions.items()},
+        "per_pc_executions": {str(k): v for k, v in result.per_pc_executions.items()},
+        "extra": result.extra,
+    }
+
+
+def _from_json(data: dict) -> SimulationResult:
+    return SimulationResult(
+        workload=data["workload"],
+        predictor=data["predictor"],
+        instructions=data["instructions"],
+        warmup_instructions=data["warmup_instructions"],
+        branches=data["branches"],
+        cond_branches=data["cond_branches"],
+        mispredictions=data["mispredictions"],
+        per_pc_mispredictions={int(k): v for k, v in data["per_pc_mispredictions"].items()},
+        per_pc_executions={int(k): v for k, v in data["per_pc_executions"].items()},
+        extra=data.get("extra", {}),
+    )
+
+
+_memory_cache: Dict[tuple, SimulationResult] = {}
+
+
+def clear_memory_cache() -> None:
+    _memory_cache.clear()
+
+
+def get_result(workload: str, key: str,
+               instructions: Optional[int] = None) -> SimulationResult:
+    """Simulate ``key`` on ``workload`` (or return the cached result)."""
+    if instructions is None:
+        from repro.experiments.common import experiment_instructions
+
+        instructions = experiment_instructions()
+
+    memo = (workload, key, instructions)
+    if memo in _memory_cache:
+        return _memory_cache[memo]
+
+    path = _cache_path(workload, instructions, key)
+    if _cache_enabled() and path.exists():
+        with open(path) as fh:
+            result = _from_json(json.load(fh))
+        _memory_cache[memo] = result
+        return result
+
+    trace = generate_workload(workload, instructions)
+    predictor = resolve_predictor(key)
+    result = run_simulation(trace, predictor, collect_per_pc=True)
+
+    if _cache_enabled():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(_to_json(result), fh)
+        os.replace(tmp, path)
+    _memory_cache[memo] = result
+    return result

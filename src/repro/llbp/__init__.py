@@ -1,0 +1,37 @@
+"""The Last-Level Branch Predictor (LLBP) — the paper's contribution.
+
+The package mirrors Fig 7's four hardware components:
+
+* :mod:`repro.llbp.rcr`            — the Rolling Context Register and the
+  position-shifted XOR context-ID hash (§V-C, §V-E3);
+* :mod:`repro.llbp.pattern`        — patterns and bucketed pattern sets,
+  kept sorted by history length (§V-B, §V-D);
+* :mod:`repro.llbp.storage`        — the context directory + bulk pattern
+  set storage with confidence-based replacement (§V-A, §V-D step 1);
+* :mod:`repro.llbp.pattern_buffer` — the in-core pattern buffer (§V-A);
+* :mod:`repro.llbp.prefetch`       — pattern-set prefetching with latency
+  and squash-on-mispredict modelling (§V-C);
+* :mod:`repro.llbp.predictor`      — the composite predictor: LLBP beside
+  an unmodified TAGE-SC-L, arbitrated by history length (§V-B).
+"""
+
+from repro.llbp.config import LLBPConfig, ContextSource
+from repro.llbp.rcr import RollingContextRegister
+from repro.llbp.pattern import Pattern, PatternSet
+from repro.llbp.storage import ContextDirectory
+from repro.llbp.pattern_buffer import PatternBuffer
+from repro.llbp.prefetch import PrefetchEngine
+from repro.llbp.predictor import LLBPTageScL, LLBPMeta
+
+__all__ = [
+    "LLBPConfig",
+    "ContextSource",
+    "RollingContextRegister",
+    "Pattern",
+    "PatternSet",
+    "ContextDirectory",
+    "PatternBuffer",
+    "PrefetchEngine",
+    "LLBPTageScL",
+    "LLBPMeta",
+]

@@ -1,0 +1,85 @@
+"""Pattern buffer (PB): the in-core cache of pattern sets (§V-A).
+
+The PB holds the pattern sets of the current, recently used and
+prefetched contexts; it is the only LLBP structure on the prediction
+path.  Fills (LLBP -> PB) and dirty writebacks (PB -> LLBP) are counted
+for the bandwidth study (Fig 11); each transfer moves one pattern set
+(288 bits in the evaluated design).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.pattern import PatternSet
+from repro.llbp.storage import ContextDirectory
+
+
+class PatternBuffer:
+    """Set-associative, LRU-replaced cache of pattern sets, keyed by CID."""
+
+    def __init__(self, config: LLBPConfig) -> None:
+        if config.pb_entries % config.pb_ways:
+            raise ValueError("pb_entries must divide into pb_ways")
+        self.config = config
+        self.num_sets = config.pb_entries // config.pb_ways
+        self.ways = config.pb_ways
+        self._sets: List[Dict[int, PatternSet]] = [dict() for _ in range(self.num_sets)]
+        self.fills = 0
+        self.writebacks = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._sets[cid % self.num_sets]
+
+    def get(self, cid: int) -> Optional[PatternSet]:
+        """Look up the pattern set for ``cid`` (refreshes LRU on hit)."""
+        s = self._sets[cid % self.num_sets]
+        ps = s.get(cid)
+        if ps is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        del s[cid]
+        s[cid] = ps
+        return ps
+
+    def peek(self, cid: int) -> Optional[PatternSet]:
+        return self._sets[cid % self.num_sets].get(cid)
+
+    def fill(self, cid: int, pattern_set: PatternSet,
+             directory: ContextDirectory) -> None:
+        """Install a pattern set fetched from LLBP storage.
+
+        A dirty victim is written back to LLBP storage — in this model the
+        PB shares the :class:`PatternSet` object with the directory, so a
+        writeback is pure accounting (plus dropping sets the directory has
+        since evicted).
+        """
+        s = self._sets[cid % self.num_sets]
+        if cid in s:
+            return
+        if len(s) >= self.ways:
+            victim_cid = next(iter(s))
+            victim = s.pop(victim_cid)
+            if victim.dirty:
+                victim.dirty = False
+                if victim_cid in directory:
+                    self.writebacks += 1
+        s[cid] = pattern_set
+        self.fills += 1
+
+    def flush(self, directory: ContextDirectory) -> None:
+        """Write back and drop everything (used by tests/ablation)."""
+        for s in self._sets:
+            for cid, ps in s.items():
+                if ps.dirty:
+                    ps.dirty = False
+                    if cid in directory:
+                        self.writebacks += 1
+            s.clear()

@@ -1,0 +1,326 @@
+"""The composite predictor: LLBP alongside an unmodified TAGE-SC-L (§V).
+
+Prediction path (Fig 7): the pattern buffer is indexed by the current
+context ID; the matching pattern with the longest history is compared —
+by history length — against TAGE's provider, and the longer of the two
+supplies the base prediction, which then flows through the baseline's
+statistical corrector and loop predictor as usual.
+
+Training (§V-D): only the providing component updates its counter.  When
+the provider mispredicts, LLBP allocates a pattern with the next-longer
+history in the current context's pattern set (creating the context in the
+directory first if needed — step 1), and TAGE runs its normal allocation
+for its own mispredictions.
+
+Timing (§V-C): prefetches are issued on context-forming branches using
+the D-advanced prefetch CID and arrive after the CD+LLBP latency; final
+mispredictions squash in-flight prefetches and restart prefetching, which
+is where late pattern sets can cost LLBP coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.rng import XorShift32
+from repro.llbp.config import LLBPConfig
+from repro.llbp.pattern import PatternSet
+from repro.llbp.pattern_buffer import PatternBuffer
+from repro.llbp.prefetch import PrefetchEngine
+from repro.llbp.rcr import RollingContextRegister
+from repro.llbp.storage import ContextDirectory
+from repro.predictors.base import BranchPredictor
+from repro.predictors.history import GlobalHistory, HistorySet, HistorySpec
+from repro.predictors.presets import TAGE_HISTORY_LENGTHS, tsl_64k
+from repro.predictors.tage_sc_l import TageScL, TslResult
+
+
+@dataclass
+class LLBPMeta:
+    """Per-prediction metadata carried from ``predict`` to ``train``."""
+
+    tsl: TslResult
+    ccid: int
+    pattern_set: Optional[PatternSet]
+    slot: int                       # matching pattern slot, -1 = no match
+    slot_tags: Optional[List[int]]  # computed tags per hash slot
+    llbp_pred: bool
+    llbp_rank: int                  # history-length rank of the match
+    overrode: bool
+
+    @property
+    def pred(self) -> bool:
+        return self.tsl.pred
+
+
+class LLBPTageScL(BranchPredictor):
+    """LLBP backing a TAGE-SC-L baseline (the paper's evaluated design)."""
+
+    name = "llbp"
+
+    def __init__(self, config: LLBPConfig = LLBPConfig(),
+                 baseline: Optional[TageScL] = None,
+                 seed: int = 0x11BB) -> None:
+        super().__init__()
+        self.config = config
+        self.tsl = baseline if baseline is not None else tsl_64k()
+        if not config.simulate_timing:
+            self.name = "llbp-0lat"
+        self.history: GlobalHistory = self.tsl.history
+        # Folded registers for the 16 hash slots, fed by the same history
+        # stream as the baseline TAGE (§V-B).
+        self.folded = HistorySet(
+            self.history,
+            [HistorySpec(length, config.pattern_tag_bits, config.pattern_tag_bits)
+             for length in config.slot_lengths],
+        )
+        # History-length rank of each hash slot, in TAGE-table units, so a
+        # small comparison arbitrates between the two predictors (§V-B).
+        self._slot_rank = [
+            TAGE_HISTORY_LENGTHS.index(length) + 1 for length in config.slot_lengths
+        ]
+        self._tag_mask = (1 << config.pattern_tag_bits) - 1
+
+        self.rcr = RollingContextRegister(config)
+        self.directory = ContextDirectory(config)
+        self.buffer = PatternBuffer(config)
+        self.prefetcher = PrefetchEngine(config, self.directory, self.buffer)
+        self._rng = XorShift32(seed)
+        self._now = 0
+        self._cd_accesses = 0
+        # Optional front-end redirect modelling (§VI / §VII-A).
+        self.btb = None
+        self.indirect = None
+        if config.model_frontend_redirects:
+            from repro.predictors.btb import BranchTargetBuffer
+            from repro.predictors.indirect import IndirectPredictor
+
+            self.btb = BranchTargetBuffer()
+            self.indirect = IndirectPredictor(history=self.history)
+        # Fig 15 breakdown counters.
+        self.counts = {
+            "predictions": 0,
+            "llbp_provided": 0,
+            "no_override": 0,
+            "override_good": 0,
+            "override_bad": 0,
+            "override_both_correct": 0,
+            "override_both_wrong": 0,
+            "pb_miss_with_context": 0,
+            "allocations": 0,
+            "context_creations": 0,
+        }
+
+    # -- hashing ---------------------------------------------------------------
+
+    def compute_slot_tags(self, pc: int) -> List[int]:
+        """Tags for all 16 hash slots (H1..H16 in Fig 7).
+
+        Starred slots (duplicate lengths) fold the same history at the
+        same width but mix the PC differently — the slot index acts as the
+        hash salt (§VI: "a modified hash function").
+        """
+        pcx = pc >> 2
+        mask = self._tag_mask
+        folds = self.folded.folds
+        tags = []
+        for h in range(len(self.config.slot_lengths)):
+            _, tag1, tag2 = folds(h)
+            tags.append(
+                (pcx ^ (pcx >> (h + 2)) ^ tag1 ^ (tag2 << 1) ^ (h * 0x9E5)) & mask
+            )
+        return tags
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, pc: int) -> LLBPMeta:
+        self.stats.lookups += 1
+        self.counts["predictions"] += 1
+
+        ccid = self.rcr.ccid
+        pattern_set = self.buffer.get(ccid)
+        if pattern_set is None and ccid in self.directory:
+            self.counts["pb_miss_with_context"] += 1
+
+        slot = -1
+        slot_tags: Optional[List[int]] = None
+        llbp_pred = False
+        llbp_rank = 0
+        llbp_weak = False
+        if pattern_set is not None:
+            slot_tags = self.compute_slot_tags(pc)
+            slot = pattern_set.find_longest(slot_tags)
+            if slot >= 0:
+                ctr = pattern_set.counter(slot)
+                llbp_pred = ctr >= 0
+                llbp_weak = ctr in (0, -1)
+                llbp_rank = self._slot_rank[pattern_set.hash_slot(slot)]
+
+        tage_res = self.tsl.tage.lookup(pc)
+        overrode = slot >= 0 and llbp_rank >= tage_res.provider_length_rank
+        if (overrode and llbp_weak and self.config.weak_override_guard
+                and tage_res.provider >= 0 and not tage_res.provider_weak):
+            # A freshly-allocated pattern defers to an established TAGE
+            # provider (the LLBP analogue of use-alt-on-newly-allocated).
+            overrode = False
+        if slot >= 0:
+            self.counts["llbp_provided"] += 1
+            if not overrode:
+                self.counts["no_override"] += 1
+
+        override = None
+        if overrode:
+            override = (llbp_pred, pattern_set.counter(slot))
+        tsl_res = self.tsl.lookup(pc, base_override=override, tage_res=tage_res)
+
+        return LLBPMeta(
+            tsl=tsl_res,
+            ccid=ccid,
+            pattern_set=pattern_set,
+            slot=slot,
+            slot_tags=slot_tags,
+            llbp_pred=llbp_pred,
+            llbp_rank=llbp_rank,
+            overrode=overrode,
+        )
+
+    # -- training -------------------------------------------------------------------
+
+    def train(self, pc: int, taken: bool, meta: LLBPMeta) -> None:
+        mispredicted = meta.pred != taken
+        if mispredicted:
+            self.stats.mispredictions += 1
+
+        exclusive = self.config.exclusive_provider_training
+        if meta.overrode:
+            tage_pred = meta.tsl.tage.pred
+            if meta.llbp_pred == taken:
+                key = "override_both_correct" if tage_pred == taken else "override_good"
+            else:
+                key = "override_both_wrong" if tage_pred != taken else "override_bad"
+            self.counts[key] += 1
+            # LLBP provided: its pattern always trains; TAGE's provider
+            # cancels its update only under the paper's exclusive policy.
+            meta.pattern_set.update_counter(meta.slot, taken)
+            self.tsl.train(pc, taken, meta.tsl, suppress_tage_provider=exclusive)
+        else:
+            if meta.slot >= 0 and not exclusive:
+                meta.pattern_set.update_counter(meta.slot, taken)
+            self.tsl.train(pc, taken, meta.tsl)
+
+        # Provider misprediction drives LLBP pattern allocation (§V-D).
+        if meta.tsl.base_pred != taken:
+            provider_rank = meta.llbp_rank if meta.overrode \
+                else meta.tsl.tage.provider_length_rank
+            self._allocate(pc, taken, meta, provider_rank)
+
+        # A final misprediction resets the pipeline: squash in-flight
+        # prefetches and restart from the checkpointed RCR state, re-running
+        # the whole D-deep prefetch pipeline (§V-C, §V-E2).
+        if mispredicted and self.config.simulate_timing:
+            self.prefetcher.squash()
+            for distance in range(self.config.prefetch_distance + 1):
+                self.prefetcher.issue(self.rcr.cid_at(distance), self._now)
+
+    def _allocate(self, pc: int, taken: bool, meta: LLBPMeta,
+                  provider_rank: int) -> None:
+        """Allocate a longer-history pattern in the current context."""
+        # Find the shortest LLBP history longer than the provider's, with
+        # the same one-step randomisation TAGE's allocator uses.
+        candidates = [
+            h for h, rank in enumerate(self._slot_rank) if rank > provider_rank
+        ]
+        if not candidates:
+            return
+        pick = candidates[0]
+        if len(candidates) > 1 and self._rng.chance(1, 2):
+            pick = candidates[1]
+
+        ccid = meta.ccid
+        pattern_set = meta.pattern_set
+        if pattern_set is None:
+            if ccid in self.directory:
+                # Context exists but was not resident at predict time:
+                # demand-fetch it for future use; allocating into a
+                # non-resident set is not possible in hardware.
+                self.prefetcher.issue(ccid, self._now)
+                return
+            # Step 1: start tracking this context.
+            pattern_set, _ = self.directory.insert(ccid)
+            self.buffer.fill(ccid, pattern_set, self.directory)
+            self.counts["context_creations"] += 1
+
+        slot_tags = meta.slot_tags
+        if slot_tags is None:
+            slot_tags = self.compute_slot_tags(pc)
+        pattern_set.allocate(pick, slot_tags[pick], taken)
+        self.counts["allocations"] += 1
+
+    # -- history / timing ---------------------------------------------------------------
+
+    def update_history(self, pc: int, branch_type: int, taken: bool,
+                       target: int) -> None:
+        if self.btb is not None:
+            self._model_redirects(pc, branch_type, taken, target)
+        self.tsl.update_history(pc, branch_type, taken, target)
+        if self.rcr.qualifies(branch_type):
+            changed = self.rcr.push(pc)
+            if changed:
+                self._cd_accesses += 1
+            self.prefetcher.issue(self.rcr.prefetch_cid, self._now)
+
+    def _model_redirects(self, pc: int, branch_type: int, taken: bool,
+                         target: int) -> None:
+        """BTB misses and wrong indirect targets reset prefetching (§VI)."""
+        flush = False
+        if branch_type in (4, 5):  # IND_JUMP / IND_CALL
+            res = self.indirect.predict(pc)
+            if not self.indirect.train(pc, target, res):
+                flush = True
+                self.counts["indirect_flushes"] = (
+                    self.counts.get("indirect_flushes", 0) + 1)
+        if taken and not self.btb.predict_and_update(pc, target):
+            flush = True
+            self.counts["btb_flushes"] = self.counts.get("btb_flushes", 0) + 1
+        if flush and self.config.simulate_timing:
+            self.prefetcher.squash()
+            for distance in range(self.config.prefetch_distance + 1):
+                self.prefetcher.issue(self.rcr.cid_at(distance), self._now)
+
+    def advance(self, instructions: int) -> None:
+        self._now += instructions
+        self.prefetcher.drain(self._now)
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return (self.tsl.storage_bits() + self.config.storage_bits
+                + self.config.cd_bits
+                + self.config.pb_entries * self.config.pattern_set_bits)
+
+    def bandwidth_bits(self) -> dict:
+        """Read/write traffic between LLBP storage and the PB (Fig 11)."""
+        set_bits = self.config.pattern_set_bits
+        return {
+            "read_bits": self.buffer.fills * set_bits,
+            "write_bits": self.buffer.writebacks * set_bits,
+        }
+
+    def access_counts(self) -> dict:
+        """Structure access counts for the energy model (Fig 12)."""
+        return {
+            "pb_accesses": self.buffer.hits + self.buffer.misses,
+            "cd_accesses": self._cd_accesses,
+            "llbp_accesses": self.buffer.fills + self.buffer.writebacks,
+        }
+
+    def finalize_stats(self) -> None:
+        """Fold component counters into ``stats.extra`` for the engine."""
+        extra = self.stats.extra
+        extra.update(self.counts)
+        extra.update(self.access_counts())
+        extra.update(self.bandwidth_bits())
+        extra["prefetch_issued"] = self.prefetcher.issued
+        extra["prefetch_squashed"] = self.prefetcher.squashed
+        extra["cd_occupancy_pct"] = int(100 * self.directory.occupancy())

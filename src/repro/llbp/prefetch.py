@@ -1,0 +1,68 @@
+"""Pattern-set prefetching (§V-C).
+
+On every context-forming branch the RCR produces a *prefetch CID* — the
+context that becomes current ``D`` such branches from now.  The engine
+checks the context directory and, on a hit, schedules the pattern set to
+arrive in the pattern buffer after the CD+LLBP access latency.  After a
+pipeline reset (branch misprediction) all in-flight prefetches are
+squashed and prefetching restarts from the current RCR state, which is
+the one window where LLBP's latency can be exposed (§V-C, §VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.pattern_buffer import PatternBuffer
+from repro.llbp.storage import ContextDirectory
+
+
+class PrefetchEngine:
+    """FIFO of in-flight pattern-set fetches with arrival times."""
+
+    def __init__(self, config: LLBPConfig, directory: ContextDirectory,
+                 buffer: PatternBuffer) -> None:
+        self.config = config
+        self.directory = directory
+        self.buffer = buffer
+        self._inflight: List[Tuple[int, int]] = []  # (arrival_instr, cid)
+        self.issued = 0
+        self.directory_misses = 0
+        self.squashed = 0
+
+    @property
+    def latency(self) -> int:
+        return self.config.prefetch_latency_instructions
+
+    def issue(self, cid: int, now: int) -> None:
+        """Start fetching ``cid``'s pattern set if it exists and is absent."""
+        if cid in self.buffer:
+            return
+        if self.directory.lookup(cid) is None:
+            self.directory_misses += 1
+            return
+        self.issued += 1
+        if self.latency == 0:
+            self._deliver(cid)
+        else:
+            self._inflight.append((now + self.latency, cid))
+
+    def drain(self, now: int) -> None:
+        """Deliver every prefetch whose arrival time has passed."""
+        while self._inflight and self._inflight[0][0] <= now:
+            _, cid = self._inflight.pop(0)
+            self._deliver(cid)
+
+    def _deliver(self, cid: int) -> None:
+        ps = self.directory.lookup(cid)
+        if ps is not None and cid not in self.buffer:
+            self.buffer.fill(cid, ps, self.directory)
+
+    def squash(self) -> None:
+        """Drop all in-flight prefetches (pipeline reset, §V-C)."""
+        self.squashed += len(self._inflight)
+        self._inflight.clear()
+
+    def inflight_count(self) -> int:
+        return len(self._inflight)

@@ -1,0 +1,101 @@
+"""Rolling context register (RCR) and context-ID hashing (§V-C, §V-E3).
+
+The RCR holds the PCs of the most recent context-forming branches.  Two
+IDs are derived from it (Fig 8):
+
+* the **current context ID (CCID)** hashes the window of ``W`` branches
+  *excluding* the ``D`` most recent ones — it names the context whose
+  pattern set should be active right now;
+* the **prefetch CID** hashes the most recent ``W`` branches — it names
+  the context that will become current after ``D`` more context-forming
+  branches, giving the prefetcher a head start of ``D`` branches.
+
+Each PC is shifted left by ``position_shift * position`` before XOR-ing so
+repeated addresses (tight loops) do not cancel out (§V-E3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.llbp.config import ContextSource, LLBPConfig
+from repro.traces.types import BranchType
+
+_CALL_RET = (int(BranchType.CALL), int(BranchType.RET), int(BranchType.IND_CALL))
+_UNCOND = (
+    int(BranchType.JUMP), int(BranchType.CALL), int(BranchType.RET),
+    int(BranchType.IND_JUMP), int(BranchType.IND_CALL),
+)
+
+
+class RollingContextRegister:
+    """Shift register of context-forming branch PCs with rolling CID hash."""
+
+    def __init__(self, config: LLBPConfig) -> None:
+        self.config = config
+        depth = config.context_window + config.prefetch_distance
+        self._pcs: List[int] = [0] * depth
+        self._mask = (1 << config.cid_bits) - 1
+        self._source = config.context_source
+        self.ccid = 0
+        self.prefetch_cid = 0
+        self._recompute()
+
+    def qualifies(self, branch_type: int) -> bool:
+        """Does a branch of this type push into the RCR?"""
+        if self._source is ContextSource.ALL:
+            return True
+        if self._source is ContextSource.CALL_RET:
+            return branch_type in _CALL_RET
+        return branch_type in _UNCOND
+
+    def push(self, pc: int) -> bool:
+        """Record a context-forming branch; returns True if CCID changed."""
+        self._pcs.append(pc)
+        self._pcs.pop(0)
+        old = self.ccid
+        self._recompute()
+        return self.ccid != old
+
+    def _hash_window(self, start: int) -> int:
+        """Hash ``W`` PCs ending ``start`` entries before the newest."""
+        config = self.config
+        newest = len(self._pcs) - 1 - start
+        value = 0
+        shift = config.position_shift
+        for position in range(config.context_window):
+            pc = self._pcs[newest - position]
+            value ^= (pc >> 2) << (shift * position)
+        return (value ^ (value >> config.cid_bits)
+                ^ (value >> (2 * config.cid_bits))) & self._mask
+
+    def _recompute(self) -> None:
+        self.prefetch_cid = self._hash_window(0)
+        if self.config.prefetch_distance == 0:
+            self.ccid = self.prefetch_cid
+        else:
+            self.ccid = self._hash_window(self.config.prefetch_distance)
+
+    def cid_at(self, distance: int) -> int:
+        """CID of the context ``distance`` context-forming branches ahead.
+
+        ``cid_at(0)`` is the CCID (active now) and ``cid_at(D)`` is the
+        prefetch CID (activates after D more pushes); intermediate
+        distances name the contexts activating in between — the
+        prefetcher re-issues all of them when recovering from a pipeline
+        reset.
+        """
+        if not 0 <= distance <= self.config.prefetch_distance:
+            raise ValueError("distance out of the RCR's range")
+        return self._hash_window(self.config.prefetch_distance - distance)
+
+    def snapshot(self) -> List[int]:
+        """Copy of the register contents (oldest first), for checkpoints."""
+        return list(self._pcs)
+
+    def restore(self, snapshot: List[int]) -> None:
+        """Restore a checkpoint taken with :meth:`snapshot` (§V-E2)."""
+        if len(snapshot) != len(self._pcs):
+            raise ValueError("snapshot depth mismatch")
+        self._pcs = list(snapshot)
+        self._recompute()

@@ -1,0 +1,92 @@
+"""Context directory + bulk pattern-set storage (§V-A, §V-D step 1).
+
+Functionally the CD (tag array) and the LLBP storage (data array) form
+one associative map from context ID to pattern set, which is how this
+module models them; the split into separate hardware arrays only matters
+for the latency/energy model (:mod:`repro.energy`).
+
+Replacement follows §V-D step 1: LRU is a poor fit, so the default policy
+evicts the pattern set with the fewest high-confidence patterns (tracked
+as a 2-bit counter per CD entry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.pattern import PatternSet
+
+
+class ContextDirectory:
+    """Set-associative map: context ID -> pattern set."""
+
+    def __init__(self, config: LLBPConfig) -> None:
+        self.config = config
+        self.num_sets = 1 << config.cd_set_bits
+        self.ways = config.cd_ways
+        self._sets: List[Dict[int, PatternSet]] = [dict() for _ in range(self.num_sets)]
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._sets[cid % self.num_sets]
+
+    def lookup(self, cid: int) -> Optional[PatternSet]:
+        s = self._sets[cid % self.num_sets]
+        ps = s.get(cid)
+        if ps is not None and self.config.cd_replacement == "lru":
+            del s[cid]
+            s[cid] = ps
+        return ps
+
+    def insert(self, cid: int) -> Tuple[PatternSet, Optional[int]]:
+        """Create (or return) the pattern set for ``cid``.
+
+        Returns ``(pattern_set, evicted_cid)``; ``evicted_cid`` is None
+        when no eviction was needed or the cid was already present.
+        """
+        s = self._sets[cid % self.num_sets]
+        existing = s.get(cid)
+        if existing is not None:
+            return existing, None
+
+        evicted = None
+        if len(s) >= self.ways:
+            victim = self._pick_victim(s)
+            del s[victim]
+            evicted = victim
+            self.evictions += 1
+
+        ps = PatternSet(
+            self.config.patterns_per_set,
+            self.config.bucket_size,
+            self.config.counter_bits,
+        )
+        s[cid] = ps
+        self.insertions += 1
+        return ps, evicted
+
+    def _pick_victim(self, s: Dict[int, PatternSet]) -> int:
+        if self.config.cd_replacement == "lru":
+            return next(iter(s))
+        # Confidence policy: evict the set with the fewest high-confidence
+        # patterns; ties fall to the least recently inserted.
+        victim = None
+        victim_conf = None
+        for cid, ps in s.items():
+            conf = ps.high_confidence_count()
+            if victim_conf is None or conf < victim_conf:
+                victim = cid
+                victim_conf = conf
+        assert victim is not None
+        return victim
+
+    def remove(self, cid: int) -> None:
+        self._sets[cid % self.num_sets].pop(cid, None)
+
+    def occupancy(self) -> float:
+        return len(self) / (self.num_sets * self.ways)

@@ -1,0 +1,58 @@
+"""Branch target buffer (Table II: 16K-entry, 8-way).
+
+The BTB caches decoded branch targets; a BTB miss on a taken branch is a
+front-end redirect, which — like a direction misprediction — resets
+LLBP's prefetch pipeline (§VI: "After a misprediction (BTB miss and
+misprediction), all in-flight prefetches get squashed").
+"""
+
+from __future__ import annotations
+
+from repro.common.assoc import SetAssociative
+
+
+class BranchTargetBuffer:
+    """Set-associative PC -> target cache with LRU replacement."""
+
+    def __init__(self, entries: int = 16384, ways: int = 8) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self._table: SetAssociative[int] = SetAssociative(entries // ways, ways)
+        self.lookups = 0
+        self.misses = 0
+        self.wrong_target = 0
+
+    @staticmethod
+    def _key(pc: int) -> int:
+        return pc >> 2
+
+    def predict(self, pc: int) -> int:
+        """Predicted target for the branch at ``pc`` (0 = miss)."""
+        self.lookups += 1
+        target = self._table.get(self._key(pc))
+        if target is None:
+            self.misses += 1
+            return 0
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        self._table.insert(self._key(pc), target)
+
+    def predict_and_update(self, pc: int, actual_target: int) -> bool:
+        """One-shot helper: predict, record stats, train; True = correct."""
+        predicted = self.predict(pc)
+        correct = predicted == actual_target
+        if predicted and not correct:
+            self.wrong_target += 1
+        self.update(pc, actual_target)
+        return correct
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+    def storage_bits(self) -> int:
+        # tag (~16b) + target (~32b) per entry.
+        return self.entries * 48

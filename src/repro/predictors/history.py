@@ -1,0 +1,144 @@
+"""Global-history state shared by TAGE-style predictors.
+
+A :class:`GlobalHistory` owns the direction-history buffer and the path
+history; :class:`HistorySet` attaches folded registers (index fold plus
+two tag folds per configured component, following Seznec's TAGE) to a
+``GlobalHistory`` so several consumers (the TAGE tables and LLBP's pattern
+tags) can fold the *same* history stream at different widths.
+
+History policy (matching common TAGE implementations): every branch
+inserts one bit — the outcome for conditional branches, a PC-derived bit
+for unconditional ones — and two PC bits into the 32-bit path history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.bitops import FoldedHistory, HistoryBuffer
+
+PATH_BITS = 16
+
+
+@dataclass(frozen=True)
+class HistorySpec:
+    """Folding geometry of one history consumer (one TAGE table)."""
+
+    length: int
+    index_bits: int
+    tag_bits: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("history length must be >= 1")
+        if self.index_bits < 1 or self.tag_bits < 1:
+            raise ValueError("fold widths must be >= 1")
+
+
+class GlobalHistory:
+    """The raw speculative history state: direction bits + path history."""
+
+    __slots__ = ("buffer", "path", "_consumers")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.buffer = HistoryBuffer(capacity)
+        self.path = 0
+        self._consumers: List["HistorySet"] = []
+
+    def attach(self, consumer: "HistorySet") -> None:
+        self._consumers.append(consumer)
+
+    def push_branch(self, pc: int, is_conditional: bool, taken: bool) -> None:
+        """Insert the history bit for a retired branch of any type."""
+        if is_conditional:
+            bit = 1 if taken else 0
+        else:
+            # Unconditional branches inject an address bit so different
+            # control-flow paths through the same region diverge.
+            bit = (pc >> 2) & 1
+        buffer = self.buffer
+        for consumer in self._consumers:
+            consumer._pre_push(buffer)
+        buffer.push(bit)
+        for consumer in self._consumers:
+            consumer._post_push(bit)
+        self.path = ((self.path << 1) | ((pc >> 2) & 1)) & ((1 << PATH_BITS) - 1)
+
+
+class HistorySet:
+    """Folded registers for a list of :class:`HistorySpec` components.
+
+    For each component the set maintains three folds: one at
+    ``index_bits`` (table index), one at ``tag_bits`` and one at
+    ``tag_bits - 1`` (the classic double-fold that decorrelates tags from
+    indices).  ``index_fold``, ``tag_fold`` and ``tag_fold2`` expose the
+    current values as plain ints for hot-loop use.
+    """
+
+    def __init__(self, history: GlobalHistory, specs: Sequence[HistorySpec]) -> None:
+        self.specs = list(specs)
+        self._folds: List[Tuple[FoldedHistory, FoldedHistory, FoldedHistory]] = []
+        self._old_ages: List[int] = []
+        for spec in self.specs:
+            idx = FoldedHistory(spec.length, spec.index_bits)
+            tag1 = FoldedHistory(spec.length, spec.tag_bits)
+            tag2 = FoldedHistory(spec.length, max(1, spec.tag_bits - 1))
+            self._folds.append((idx, tag1, tag2))
+            self._old_ages.append(spec.length - 1)
+        self._pending_old: List[int] = [0] * len(self.specs)
+        history.attach(self)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def _pre_push(self, buffer: HistoryBuffer) -> None:
+        bit = buffer.bit
+        old = self._pending_old
+        for i, age in enumerate(self._old_ages):
+            old[i] = bit(age)
+
+    def _post_push(self, new_bit: int) -> None:
+        old = self._pending_old
+        for i, folds in enumerate(self._folds):
+            old_bit = old[i]
+            folds[0].update(new_bit, old_bit)
+            folds[1].update(new_bit, old_bit)
+            folds[2].update(new_bit, old_bit)
+
+    def index_fold(self, i: int) -> int:
+        return self._folds[i][0].value
+
+    def tag_fold(self, i: int) -> int:
+        return self._folds[i][1].value
+
+    def tag_fold2(self, i: int) -> int:
+        return self._folds[i][2].value
+
+    def folds(self, i: int) -> Tuple[int, int, int]:
+        f = self._folds[i]
+        return f[0].value, f[1].value, f[2].value
+
+    def reset(self) -> None:
+        for idx, tag1, tag2 in self._folds:
+            idx.reset()
+            tag1.reset()
+            tag2.reset()
+
+
+def geometric_lengths(minimum: int, maximum: int, count: int) -> List[int]:
+    """Geometrically spaced history lengths, deduplicated and increasing."""
+    if count < 2:
+        raise ValueError("need at least two lengths")
+    if minimum < 1 or maximum <= minimum:
+        raise ValueError("invalid length range")
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    lengths: List[int] = []
+    value = float(minimum)
+    for _ in range(count):
+        candidate = int(round(value))
+        if lengths and candidate <= lengths[-1]:
+            candidate = lengths[-1] + 1
+        lengths.append(candidate)
+        value *= ratio
+    return lengths

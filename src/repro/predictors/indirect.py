@@ -1,0 +1,167 @@
+"""ITTAGE-style indirect-branch target predictor.
+
+Indirect calls/jumps resolve their target from data, so a plain BTB only
+captures the most recent target.  ITTAGE (Seznec's indirect variant of
+TAGE) keeps *targets* in tagged tables indexed by PC and geometrically
+longer global history, choosing the longest matching entry.
+
+In this reproduction the indirect predictor's role is front-end
+redirects: a wrong indirect target flushes the pipeline and resets
+LLBP's prefetcher (the PHPWiki effect, §VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.rng import XorShift32
+from repro.predictors.history import GlobalHistory, HistorySet, HistorySpec
+
+
+@dataclass(frozen=True)
+class IttageConfig:
+    """Geometry of the indirect predictor."""
+
+    history_lengths: tuple = (2, 5, 11, 21, 43, 86)
+    index_bits: int = 8
+    tag_bits: int = 10
+    confidence_bits: int = 2
+    seed: int = 0x17746
+
+    def __post_init__(self) -> None:
+        if list(self.history_lengths) != sorted(set(self.history_lengths)):
+            raise ValueError("history lengths must be strictly increasing")
+        if self.index_bits < 1 or self.tag_bits < 2:
+            raise ValueError("invalid geometry")
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.history_lengths)
+
+
+@dataclass
+class IndirectResult:
+    """Metadata of one indirect lookup."""
+
+    target: int = 0            # 0 = no prediction
+    provider: int = -1         # table, -1 = base table
+    indices: List[int] = None
+    tags: List[int] = None
+    base_index: int = 0
+
+
+class IndirectPredictor:
+    """ITTAGE: tagged geometric-history target tables over a base table."""
+
+    name = "ittage"
+
+    def __init__(self, config: IttageConfig = IttageConfig(),
+                 history: Optional[GlobalHistory] = None) -> None:
+        self.config = config
+        self.history = history if history is not None else GlobalHistory()
+        self.folded = HistorySet(self.history, [
+            HistorySpec(length, config.index_bits, config.tag_bits)
+            for length in config.history_lengths
+        ])
+        size = 1 << config.index_bits
+        self._size = size
+        self._idx_mask = size - 1
+        self._tag_mask = (1 << config.tag_bits) - 1
+        n = config.num_tables
+        self.targets = [[0] * size for _ in range(n)]
+        self.tags = [[0] * size for _ in range(n)]
+        self.confidence = [[0] * size for _ in range(n)]
+        self._valid = [[False] * size for _ in range(n)]
+        # Base table: last-seen target per PC (a small BTB-like table).
+        self.base_targets = [0] * size
+        self._conf_max = (1 << config.confidence_bits) - 1
+        self._rng = XorShift32(config.seed)
+        self.lookups = 0
+        self.mispredictions = 0
+
+    # -- hashing --------------------------------------------------------------
+
+    def _index(self, pc: int, table: int) -> int:
+        pcx = pc >> 2
+        return (pcx ^ (pcx >> (table + 1)) ^ self.folded.index_fold(table)) & self._idx_mask
+
+    def _tag(self, pc: int, table: int) -> int:
+        pcx = pc >> 2
+        _, tag1, tag2 = self.folded.folds(table)
+        return (pcx ^ tag1 ^ (tag2 << 1)) & self._tag_mask
+
+    # -- prediction -------------------------------------------------------------
+
+    def lookup(self, pc: int) -> IndirectResult:
+        res = IndirectResult(indices=[], tags=[])
+        res.base_index = (pc >> 2) & self._idx_mask
+        provider = -1
+        for t in range(self.config.num_tables):
+            idx = self._index(pc, t)
+            tag = self._tag(pc, t)
+            res.indices.append(idx)
+            res.tags.append(tag)
+            if self._valid[t][idx] and self.tags[t][idx] == tag:
+                provider = t
+        res.provider = provider
+        if provider >= 0:
+            res.target = self.targets[provider][res.indices[provider]]
+        else:
+            res.target = self.base_targets[res.base_index]
+        return res
+
+    def predict(self, pc: int) -> IndirectResult:
+        self.lookups += 1
+        return self.lookup(pc)
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, pc: int, actual_target: int, res: IndirectResult) -> bool:
+        """Train on the resolved target; returns True when predicted right."""
+        correct = res.target == actual_target and res.target != 0
+
+        if res.provider >= 0:
+            t, idx = res.provider, res.indices[res.provider]
+            if self.targets[t][idx] == actual_target:
+                if self.confidence[t][idx] < self._conf_max:
+                    self.confidence[t][idx] += 1
+            elif self.confidence[t][idx] > 0:
+                self.confidence[t][idx] -= 1
+            else:
+                self.targets[t][idx] = actual_target
+        self.base_targets[res.base_index] = actual_target
+
+        if not correct:
+            self.mispredictions += 1
+            self._allocate(pc, actual_target, res)
+        return correct
+
+    def _allocate(self, pc: int, target: int, res: IndirectResult) -> None:
+        start = res.provider + 1
+        if start < self.config.num_tables - 1 and self._rng.chance(1, 2):
+            start += 1
+        for t in range(start, self.config.num_tables):
+            idx = res.indices[t]
+            if not self._valid[t][idx] or self.confidence[t][idx] == 0:
+                self._valid[t][idx] = True
+                self.tags[t][idx] = res.tags[t]
+                self.targets[t][idx] = target
+                self.confidence[t][idx] = 0
+                return
+            self.confidence[t][idx] -= 1
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def update_history(self, pc: int, branch_type: int, taken: bool,
+                       target: int) -> None:
+        self.history.push_branch(pc, branch_type == 0, taken)
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+    def storage_bits(self) -> int:
+        entry = 32 + self.config.tag_bits + self.config.confidence_bits
+        return (self.config.num_tables * self._size * entry
+                + self._size * 32)

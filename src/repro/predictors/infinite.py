@@ -1,0 +1,172 @@
+"""Infinite-capacity TAGE tables for the limit study (§II-C).
+
+Following the paper's methodology: hash functions and table count are
+unchanged, but every pattern is additionally tagged with the full branch
+PC and associativity is unbounded — so capacity evictions and destructive
+aliasing disappear while the algorithmic behaviour (provider selection,
+geometric histories) is preserved.
+
+The class also hosts the *useful pattern* instrumentation behind the
+working-set studies (Figs 3b and 5): a pattern is useful when it provides
+a correct prediction while the alternative prediction is wrong; an
+optional callback receives each useful event so analysis code can
+attribute it to a static branch or to a program context.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.rng import XorShift32
+from repro.predictors.history import GlobalHistory, HistorySet
+from repro.predictors.tage import Tage, TageConfig, TageResult
+
+# A pattern's identity: (table, index, tag, pc).
+PatternKey = Tuple[int, int, int, int]
+
+
+class InfiniteTage(Tage):
+    """TAGE with per-PC-tagged, unbounded-associativity tables."""
+
+    name = "tage-inf"
+
+    def __init__(self, config: TageConfig, history: Optional[GlobalHistory] = None) -> None:
+        # Reuse Tage's folded-history setup but replace array tables.
+        super().__init__(config, history)
+        del self.ctrs, self.tags, self.useful, self._valid
+        n = config.num_tables
+        # table -> {(idx, tag, pc): [ctr, useful]}
+        self.entries: List[Dict[Tuple[int, int, int], List[int]]] = [
+            dict() for _ in range(n)
+        ]
+        self.trace_useful = False
+        self.useful_patterns: Dict[int, Set[PatternKey]] = {}
+        self.useful_callback: Optional[Callable[[int, PatternKey], None]] = None
+
+    # -- prediction ----------------------------------------------------------
+
+    def lookup(self, pc: int) -> TageResult:
+        config = self.config
+        n = config.num_tables
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
+        pcx = pc >> 2
+        path = self.history.path
+        path_mix = path ^ (path >> config.index_bits)
+        folds = self.folded.folds
+
+        res = TageResult()
+        indices = res.indices
+        tags = res.tags
+        provider = -1
+        alt = -1
+        for t in range(n):
+            f_idx, f_tag1, f_tag2 = folds(t)
+            idx = (pcx ^ (pcx >> (t + 1)) ^ f_idx ^ path_mix) & idx_mask
+            tag = (pcx ^ f_tag1 ^ (f_tag2 << 1)) & tag_mask
+            indices.append(idx)
+            tags.append(tag)
+            if (idx, tag, pc) in self.entries[t]:
+                alt = provider
+                provider = t
+
+        res.bim_pred = self.bimodal.lookup(pc)
+        if provider >= 0:
+            ctr = self.entries[provider][(indices[provider], tags[provider], pc)][0]
+            res.provider = provider
+            res.provider_ctr = ctr
+            res.provider_pred = ctr >= 0
+            res.provider_weak = ctr in (0, -1)
+            res.alt_provider = alt
+            if alt >= 0:
+                res.alt_pred = self.entries[alt][(indices[alt], tags[alt], pc)][0] >= 0
+            else:
+                res.alt_pred = res.bim_pred
+            if res.provider_weak and self._use_alt >= (1 << (config.use_alt_bits - 1)):
+                res.used_alt = True
+                res.pred = res.alt_pred
+            else:
+                res.pred = res.provider_pred
+        else:
+            res.alt_pred = res.bim_pred
+            res.pred = res.bim_pred
+        return res
+
+    # -- training ------------------------------------------------------------
+
+    def update(self, pc: int, taken: bool, res: TageResult,
+               suppress_provider: bool = False,
+               suppress_alloc: bool = False) -> None:
+        provider = res.provider
+        mispredicted = res.pred != taken
+
+        if provider >= 0:
+            key = (res.indices[provider], res.tags[provider], pc)
+            entry = self.entries[provider][key]
+            if res.provider_pred != res.alt_pred:
+                if res.provider_pred == taken:
+                    entry[1] = 1
+                    self._record_useful(pc, provider, key)
+                elif entry[1] > 0:
+                    entry[1] = 0
+                if res.provider_weak:
+                    if res.alt_pred == taken and self._use_alt < self._use_alt_max:
+                        self._use_alt += 1
+                    elif res.provider_pred == taken and self._use_alt > 0:
+                        self._use_alt -= 1
+            if not suppress_provider:
+                ctr = entry[0]
+                if taken:
+                    if ctr < self._ctr_hi:
+                        entry[0] = ctr + 1
+                elif ctr > self._ctr_lo:
+                    entry[0] = ctr - 1
+                if res.provider_weak and res.alt_provider < 0:
+                    self.bimodal.update(pc, taken)
+        elif not suppress_provider:
+            self.bimodal.update(pc, taken)
+
+        if mispredicted and not suppress_alloc:
+            self.allocate(pc, taken, res)
+
+    def allocate(self, pc: int, taken: bool, res: TageResult) -> None:
+        """Allocate longer-history patterns; never fails (infinite space)."""
+        provider = res.provider
+        n = self.config.num_tables
+        if provider >= n - 1:
+            return
+        start = provider + 1
+        if start < n - 1 and self._rng.chance(1, 2):
+            start += 1
+        allocated = 0
+        t = start
+        while t < n and allocated < self.config.max_allocations:
+            key = (res.indices[t], res.tags[t], pc)
+            if key not in self.entries[t]:
+                self.entries[t][key] = [0 if taken else -1, 0]
+                allocated += 1
+                t += 2
+            else:
+                t += 1
+
+    # -- instrumentation ----------------------------------------------------------
+
+    def _record_useful(self, pc: int, table: int, key: Tuple[int, int, int]) -> None:
+        if not self.trace_useful:
+            return
+        pattern: PatternKey = (table, key[0], key[1], pc)
+        self.useful_patterns.setdefault(pc, set()).add(pattern)
+        if self.useful_callback is not None:
+            self.useful_callback(pc, pattern)
+
+    def useful_pattern_counts(self) -> Dict[int, int]:
+        """Unique useful patterns observed per static branch PC."""
+        return {pc: len(keys) for pc, keys in self.useful_patterns.items()}
+
+    def num_patterns(self) -> int:
+        """Total live patterns across all tables."""
+        return sum(len(t) for t in self.entries)
+
+    def storage_bits(self) -> int:
+        entry_bits = self.config.counter_bits + self.config.tag_bits + 1
+        return self.bimodal.storage_bits() + self.num_patterns() * entry_bits

@@ -1,0 +1,26 @@
+"""Perfect conditional branch predictor: the upper bound of Fig 10."""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+
+class PerfectPredictor(BranchPredictor):
+    """An oracle: the engine resolves its prediction as always correct.
+
+    ``predict`` returns None; the engine treats None metadata from this
+    predictor as "predicted == outcome".  ``train`` counts lookups only.
+    """
+
+    name = "perfect"
+
+    def predict(self, pc: int) -> None:
+        self.stats.lookups += 1
+        return None
+
+    def train(self, pc: int, taken: bool, meta: None) -> None:
+        return
+
+    @staticmethod
+    def pred_of(meta: None) -> bool:  # pragma: no cover - engine special-cases
+        raise TypeError("perfect predictor has no materialised prediction")

@@ -1,0 +1,286 @@
+"""TAGE: TAgged GEometric history length predictor (§II-B).
+
+Implements the full TAGE algorithm the paper describes: an untagged
+bimodal fallback plus N tagged tables indexed by hashes of PC and
+geometrically longer global histories (via the shared folded-history
+machinery), longest-match provider selection, use-alt-on-newly-allocated
+arbitration, usefulness-guided replacement and tick-throttled allocation.
+
+The implementation is split into ``lookup`` and ``update`` so composite
+predictors (TAGE-SC-L, and LLBP which arbitrates against the provider's
+history length) can interpose between prediction and training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.rng import XorShift32
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import Bimodal
+from repro.predictors.history import GlobalHistory, HistorySet, HistorySpec
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Geometry and tuning of a TAGE instance."""
+
+    history_lengths: Tuple[int, ...]
+    index_bits: int = 10
+    tag_bits: int = 12
+    counter_bits: int = 3
+    bimodal_index_bits: int = 13
+    max_allocations: int = 2
+    use_alt_bits: int = 4
+    tick_threshold: int = 1024
+    seed: int = 0xBADC0DE
+
+    def __post_init__(self) -> None:
+        if len(self.history_lengths) < 1:
+            raise ValueError("need at least one tagged table")
+        if list(self.history_lengths) != sorted(set(self.history_lengths)):
+            raise ValueError("history lengths must be strictly increasing")
+        if self.index_bits < 1 or self.tag_bits < 2:
+            raise ValueError("invalid table geometry")
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.history_lengths)
+
+    def specs(self) -> List[HistorySpec]:
+        return [
+            HistorySpec(length, self.index_bits, self.tag_bits)
+            for length in self.history_lengths
+        ]
+
+
+@dataclass
+class TageResult:
+    """Everything ``lookup`` learned, consumed later by ``update``."""
+
+    pred: bool = False
+    provider: int = -1           # table index; -1 = bimodal provided
+    provider_pred: bool = False
+    provider_ctr: int = 0
+    provider_weak: bool = False
+    alt_pred: bool = False
+    alt_provider: int = -1       # table index of the alt match; -1 = bimodal
+    used_alt: bool = False
+    bim_pred: bool = False
+    indices: List[int] = field(default_factory=list)
+    tags: List[int] = field(default_factory=list)
+
+    @property
+    def provider_length_rank(self) -> int:
+        """Provider table number + 1 (0 when the bimodal provided).
+
+        LLBP compares history lengths through this rank (§V-B: "a 6-bit
+        adder is sufficient to compare the table index ... with the history
+        length field").
+        """
+        return self.provider + 1
+
+
+class Tage(BranchPredictor):
+    """Finite-capacity TAGE over a shared :class:`GlobalHistory`."""
+
+    name = "tage"
+
+    def __init__(self, config: TageConfig, history: Optional[GlobalHistory] = None) -> None:
+        super().__init__()
+        self.config = config
+        self.history = history if history is not None else GlobalHistory()
+        self.folded = HistorySet(self.history, config.specs())
+        self.bimodal = Bimodal(config.bimodal_index_bits)
+        n = config.num_tables
+        size = 1 << config.index_bits
+        self._size = size
+        self._idx_mask = size - 1
+        self._tag_mask = (1 << config.tag_bits) - 1
+        ctr_hi = (1 << (config.counter_bits - 1)) - 1
+        self._ctr_hi = ctr_hi
+        self._ctr_lo = -(ctr_hi + 1)
+        # Parallel per-table arrays: prediction counters, tags, useful bits.
+        self.ctrs: List[List[int]] = [[0] * size for _ in range(n)]
+        self.tags: List[List[int]] = [[0] * size for _ in range(n)]
+        self.useful: List[List[int]] = [[0] * size for _ in range(n)]
+        self._valid: List[List[bool]] = [[False] * size for _ in range(n)]
+        self._rng = XorShift32(config.seed)
+        self._use_alt = 1 << (config.use_alt_bits - 1)  # mid-point
+        self._use_alt_max = (1 << config.use_alt_bits) - 1
+        self._tick = 0
+
+    # -- hashing -------------------------------------------------------------
+
+    def compute_index(self, pc: int, table: int) -> int:
+        pcx = pc >> 2
+        fold = self.folded.index_fold(table)
+        path = self.history.path
+        h = pcx ^ (pcx >> (table + 1)) ^ fold ^ (path ^ (path >> self.config.index_bits))
+        return h & self._idx_mask
+
+    def compute_tag(self, pc: int, table: int) -> int:
+        pcx = pc >> 2
+        _, tag1, tag2 = self.folded.folds(table)
+        return (pcx ^ tag1 ^ (tag2 << 1)) & self._tag_mask
+
+    # -- prediction ----------------------------------------------------------
+
+    def lookup(self, pc: int) -> TageResult:
+        config = self.config
+        n = config.num_tables
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
+        pcx = pc >> 2
+        path = self.history.path
+        path_mix = path ^ (path >> config.index_bits)
+        folds = self.folded.folds
+
+        res = TageResult()
+        indices = res.indices
+        tags = res.tags
+        provider = -1
+        alt = -1
+        for t in range(n):
+            f_idx, f_tag1, f_tag2 = folds(t)
+            idx = (pcx ^ (pcx >> (t + 1)) ^ f_idx ^ path_mix) & idx_mask
+            tag = (pcx ^ f_tag1 ^ (f_tag2 << 1)) & tag_mask
+            indices.append(idx)
+            tags.append(tag)
+            if self._valid[t][idx] and self.tags[t][idx] == tag:
+                alt = provider
+                provider = t
+
+        res.bim_pred = self.bimodal.lookup(pc)
+        if provider >= 0:
+            ctr = self.ctrs[provider][indices[provider]]
+            res.provider = provider
+            res.provider_ctr = ctr
+            res.provider_pred = ctr >= 0
+            res.provider_weak = ctr in (0, -1)
+            res.alt_provider = alt
+            if alt >= 0:
+                res.alt_pred = self.ctrs[alt][indices[alt]] >= 0
+            else:
+                res.alt_pred = res.bim_pred
+            # Newly-allocated entries are unreliable; a global counter
+            # decides whether to trust the alternative instead.
+            if res.provider_weak and self._use_alt >= (1 << (self.config.use_alt_bits - 1)):
+                res.used_alt = True
+                res.pred = res.alt_pred
+            else:
+                res.pred = res.provider_pred
+        else:
+            res.alt_pred = res.bim_pred
+            res.pred = res.bim_pred
+        return res
+
+    def predict(self, pc: int) -> TageResult:
+        self.stats.lookups += 1
+        return self.lookup(pc)
+
+    # -- training ------------------------------------------------------------
+
+    def train(self, pc: int, taken: bool, meta: TageResult) -> None:
+        if meta.pred != taken:
+            self.stats.mispredictions += 1
+        self.update(pc, taken, meta)
+
+    def update(self, pc: int, taken: bool, res: TageResult,
+               suppress_provider: bool = False,
+               suppress_alloc: bool = False) -> None:
+        """Train TAGE on the resolved branch.
+
+        ``suppress_provider`` cancels the provider-counter update (used
+        when LLBP overrode and is the training provider, §V-D);
+        ``suppress_alloc`` cancels new-entry allocation.
+        """
+        provider = res.provider
+        mispredicted = res.pred != taken
+
+        if provider >= 0:
+            idx = res.indices[provider]
+            if res.provider_pred != res.alt_pred:
+                # Usefulness: provider disagreed with alt; reward if right.
+                if res.provider_pred == taken:
+                    self.useful[provider][idx] = 1
+                else:
+                    u = self.useful[provider][idx]
+                    if u > 0:
+                        self.useful[provider][idx] = u - 1
+                # Track whether trusting alt on weak entries pays off.
+                if res.provider_weak:
+                    if res.alt_pred == taken and self._use_alt < self._use_alt_max:
+                        self._use_alt += 1
+                    elif res.provider_pred == taken and self._use_alt > 0:
+                        self._use_alt -= 1
+            if not suppress_provider:
+                ctr = self.ctrs[provider][idx]
+                if taken:
+                    if ctr < self._ctr_hi:
+                        self.ctrs[provider][idx] = ctr + 1
+                elif ctr > self._ctr_lo:
+                    self.ctrs[provider][idx] = ctr - 1
+                # Weak providers also train the alt path so the fallback
+                # stays warm (standard TAGE practice).
+                if res.provider_weak and res.alt_provider < 0:
+                    self.bimodal.update(pc, taken)
+        else:
+            if not suppress_provider:
+                self.bimodal.update(pc, taken)
+
+        if mispredicted and not suppress_alloc:
+            self.allocate(pc, taken, res)
+
+    def allocate(self, pc: int, taken: bool, res: TageResult) -> None:
+        """Allocate new entries with longer history after a misprediction."""
+        provider = res.provider
+        n = self.config.num_tables
+        if provider >= n - 1:
+            return
+        start = provider + 1
+        # Randomised start (Seznec): avoids always burning the next table.
+        if start < n - 1 and self._rng.chance(1, 2):
+            start += 1
+
+        allocated = 0
+        failures = 0
+        t = start
+        while t < n and allocated < self.config.max_allocations:
+            idx = res.indices[t]
+            if self.useful[t][idx] == 0:
+                self.tags[t][idx] = res.tags[t]
+                self.ctrs[t][idx] = 0 if taken else -1
+                self._valid[t][idx] = True
+                allocated += 1
+                t += 2  # spread allocations across history lengths
+            else:
+                failures += 1
+                t += 1
+
+        # Tick throttle: when allocation keeps failing, usefulness bits are
+        # stale — clear them all so the predictor can adapt (u is 1 bit, so
+        # "halving" == clearing).
+        self._tick += failures - allocated
+        if self._tick < 0:
+            self._tick = 0
+        elif self._tick >= self.config.tick_threshold:
+            self._tick = 0
+            for t in range(n):
+                useful_t = self.useful[t]
+                for i in range(self._size):
+                    useful_t[i] = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def update_history(self, pc: int, branch_type: int, taken: bool,
+                       target: int) -> None:
+        self.history.push_branch(pc, branch_type == 0, taken)
+
+    def storage_bits(self) -> int:
+        entry_bits = self.config.counter_bits + self.config.tag_bits + 1
+        return (
+            self.bimodal.storage_bits()
+            + self.config.num_tables * self._size * entry_bits
+        )

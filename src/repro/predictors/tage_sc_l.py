@@ -1,0 +1,166 @@
+"""TAGE-SC-L: the paper's baseline predictor (64K TSL) and its scaled kin.
+
+Composition order (following Seznec's TAGE-SC-L and §V-B's description of
+where LLBP hooks in):
+
+1. TAGE produces a base prediction.
+2. An external provider (LLBP) may *override* the TAGE prediction when it
+   matched a pattern with an equal-or-longer history (`base_override`).
+3. The statistical corrector may flip the (possibly overridden) base
+   prediction when statistically confident.
+4. The loop predictor overrides everything when confident and trusted.
+
+The lookup/finalize/train split lets the LLBP composite interpose at
+step 2 without duplicating the SC/loop logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.history import GlobalHistory
+from repro.predictors.loop import LoopPredictor, LoopResult
+from repro.predictors.statistical import ScResult, StatisticalCorrector
+from repro.predictors.tage import Tage, TageConfig, TageResult
+
+
+@dataclass(frozen=True)
+class TslConfig:
+    """Configuration of the composed TAGE-SC-L."""
+
+    tage: TageConfig
+    sc_index_bits: int = 10
+    sc_history_lengths: Tuple[int, ...] = (3, 6, 11, 18, 27)
+    loop_index_bits: int = 4
+    loop_ways: int = 4
+    use_sc: bool = True
+    use_loop: bool = True
+    name: str = "tsl"
+
+
+@dataclass
+class TslResult:
+    """Combined metadata from one TAGE-SC-L lookup."""
+
+    tage: TageResult
+    loop: Optional[LoopResult]
+    sc: Optional[ScResult]
+    base_pred: bool          # TAGE pred, possibly overridden by LLBP
+    base_overridden: bool    # True when an external provider overrode TAGE
+    pred: bool               # final prediction
+
+
+class TageScL(BranchPredictor):
+    """The composed TAGE-SC-L predictor."""
+
+    name = "tage-sc-l"
+
+    def __init__(self, config: TslConfig, history: Optional[GlobalHistory] = None,
+                 tage: Optional[Tage] = None) -> None:
+        super().__init__()
+        self.config = config
+        self.tage = tage if tage is not None else Tage(config.tage, history)
+        self.history = self.tage.history
+        self.sc = (
+            StatisticalCorrector(config.sc_history_lengths, config.sc_index_bits)
+            if config.use_sc else None
+        )
+        self.loop = (
+            LoopPredictor(config.loop_index_bits, config.loop_ways)
+            if config.use_loop else None
+        )
+
+    # -- prediction ------------------------------------------------------------
+
+    def lookup(self, pc: int, base_override: Optional[Tuple[bool, int]] = None,
+               tage_res: Optional[TageResult] = None) -> TslResult:
+        """Full lookup.
+
+        ``base_override``: optional ``(direction, provider_ctr)`` from an
+        external longest-history provider (LLBP); when given, it replaces
+        TAGE's base prediction before SC/loop post-processing.
+        ``tage_res``: a TAGE lookup already performed for this branch (the
+        LLBP composite computes it first to compare history lengths).
+        """
+        if tage_res is None:
+            tage_res = self.tage.lookup(pc)
+        if base_override is not None:
+            base_pred, provider_ctr = base_override
+            base_overridden = True
+            provider_valid = True
+        else:
+            base_pred = tage_res.pred
+            provider_ctr = tage_res.provider_ctr
+            base_overridden = False
+            provider_valid = tage_res.provider >= 0
+
+        pred = base_pred
+        sc_res = None
+        if self.sc is not None:
+            sc_res = self.sc.lookup(pc, base_pred, provider_ctr, provider_valid)
+            if sc_res.use:
+                pred = sc_res.pred
+
+        loop_res = None
+        if self.loop is not None:
+            loop_res = self.loop.lookup(pc)
+            if loop_res.valid and self.loop.use_loop:
+                pred = loop_res.pred
+
+        return TslResult(
+            tage=tage_res,
+            loop=loop_res,
+            sc=sc_res,
+            base_pred=base_pred,
+            base_overridden=base_overridden,
+            pred=pred,
+        )
+
+    def predict(self, pc: int) -> TslResult:
+        self.stats.lookups += 1
+        return self.lookup(pc)
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, pc: int, taken: bool, meta: TslResult,
+              suppress_tage_provider: bool = False,
+              suppress_tage_alloc: bool = False) -> None:
+        """Train all components on the resolved outcome.
+
+        The suppress flags implement §V-D's provider-based training when
+        LLBP is the providing component.
+        """
+        if meta.pred != taken:
+            self.stats.mispredictions += 1
+
+        if self.loop is not None and meta.loop is not None:
+            if meta.loop.valid:
+                self.loop.train_withloop(meta.loop.pred, meta.base_pred, taken)
+            self.loop.update(pc, taken, meta.loop,
+                             tage_mispredicted=meta.base_pred != taken)
+
+        if self.sc is not None and meta.sc is not None:
+            self.sc.train(pc, taken, meta.sc)
+            self.sc.push_outcome(taken)
+
+        self.tage.update(
+            pc, taken, meta.tage,
+            suppress_provider=suppress_tage_provider,
+            suppress_alloc=suppress_tage_alloc,
+        )
+
+    # -- history --------------------------------------------------------------------
+
+    def update_history(self, pc: int, branch_type: int, taken: bool,
+                       target: int) -> None:
+        self.history.push_branch(pc, branch_type == 0, taken)
+
+    def storage_bits(self) -> int:
+        bits = self.tage.storage_bits()
+        if self.sc is not None:
+            bits += self.sc.storage_bits()
+        if self.loop is not None:
+            bits += self.loop.storage_bits()
+        return bits

@@ -1,0 +1,16 @@
+"""Simulation layer: trace-driven engine, timing core model, L1-I model."""
+
+from repro.sim.results import SimulationResult
+from repro.sim.engine import run_simulation
+from repro.sim.core import CoreParams, CoreModel, TimingResult
+from repro.sim.icache import InstructionCache, simulate_icache
+
+__all__ = [
+    "SimulationResult",
+    "run_simulation",
+    "CoreParams",
+    "CoreModel",
+    "TimingResult",
+    "InstructionCache",
+    "simulate_icache",
+]

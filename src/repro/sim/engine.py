@@ -1,0 +1,96 @@
+"""Trace-driven simulation loop.
+
+Mirrors the paper's methodology (§VI): the predictor is warmed up on a
+prefix of the trace, then mispredictions are counted over the measured
+region.  Every branch — conditional or not — updates predictor history;
+only conditional branches are predicted and trained.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.perfect import PerfectPredictor
+from repro.sim.results import SimulationResult
+from repro.traces.trace import Trace
+
+#: Fraction of the trace used for warmup when not given explicitly; the
+#: paper warms 100M of 300M total instructions.
+DEFAULT_WARMUP_FRACTION = 1.0 / 3.0
+
+
+def run_simulation(
+    trace: Trace,
+    predictor: BranchPredictor,
+    warmup_instructions: Optional[int] = None,
+    collect_per_pc: bool = False,
+) -> SimulationResult:
+    """Run ``predictor`` over ``trace`` and return measured statistics."""
+    if warmup_instructions is None:
+        warmup_instructions = int(trace.num_instructions * DEFAULT_WARMUP_FRACTION)
+
+    is_perfect = isinstance(predictor, PerfectPredictor)
+    predict = predictor.predict
+    train = predictor.train
+    update_history = predictor.update_history
+    advance = getattr(predictor, "advance", None)
+
+    instructions = 0
+    measured_instr_start: Optional[int] = None
+    branches = 0
+    cond_branches = 0
+    mispredictions = 0
+    per_pc_misp = {}
+    per_pc_exec = {}
+
+    for pc, btype, taken_i, target, gap in trace.iter_tuples():
+        instructions += gap
+        if advance is not None:
+            advance(gap)
+        taken = taken_i == 1
+        measuring = instructions > warmup_instructions
+        if measuring and measured_instr_start is None:
+            measured_instr_start = instructions - gap
+        if measuring:
+            branches += 1
+
+        if btype == 0:  # conditional
+            meta = predict(pc)
+            if is_perfect:
+                pred = taken
+            elif isinstance(meta, bool):
+                pred = meta
+            else:
+                pred = meta.pred
+            if measuring:
+                cond_branches += 1
+                if pred != taken:
+                    mispredictions += 1
+                if collect_per_pc:
+                    per_pc_exec[pc] = per_pc_exec.get(pc, 0) + 1
+                    if pred != taken:
+                        per_pc_misp[pc] = per_pc_misp.get(pc, 0) + 1
+            train(pc, taken, meta)
+        update_history(pc, btype, taken, target)
+
+    if measured_instr_start is None:
+        measured_instr_start = instructions
+    measured_instructions = instructions - measured_instr_start
+
+    finalize = getattr(predictor, "finalize_stats", None)
+    if finalize is not None:
+        finalize()
+
+    return SimulationResult(
+        extra=dict(predictor.stats.extra),
+        workload=trace.name,
+        predictor=getattr(predictor, "name", type(predictor).__name__),
+        instructions=measured_instructions,
+        warmup_instructions=measured_instr_start,
+        branches=branches,
+        cond_branches=cond_branches,
+        mispredictions=mispredictions,
+        per_pc_mispredictions=per_pc_misp,
+        per_pc_executions=per_pc_exec,
+    )

@@ -1,0 +1,27 @@
+"""Branch-trace substrate: record model, container, file I/O, statistics.
+
+The simulator is trace-driven, like the paper's artifact: a trace is a
+sequence of retired branch records, each carrying the branch PC, its type
+(conditional, jump, call, return, or their indirect variants), the resolved
+direction and target, and the number of instructions fetched since the
+previous branch (so MPKI and the timing model have an instruction base).
+"""
+
+from repro.traces.types import BranchType, BranchRecord, is_unconditional, is_call, is_return
+from repro.traces.trace import Trace, TraceBuilder
+from repro.traces.io import save_trace, load_trace
+from repro.traces.stats import TraceStats, compute_stats
+
+__all__ = [
+    "BranchType",
+    "BranchRecord",
+    "is_unconditional",
+    "is_call",
+    "is_return",
+    "Trace",
+    "TraceBuilder",
+    "save_trace",
+    "load_trace",
+    "TraceStats",
+    "compute_stats",
+]

@@ -1,0 +1,53 @@
+"""Trace persistence.
+
+Traces are stored as compressed ``.npz`` bundles of the five column arrays
+plus the trace name.  This plays the role of the ChampSim trace format in
+the paper's artifact: generate once, simulate many times.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (created atomically via a temp file)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            version=np.array([_FORMAT_VERSION]),
+            name=np.array([trace.name]),
+            pcs=trace.pcs,
+            types=trace.types,
+            takens=trace.takens,
+            targets=trace.targets,
+            gaps=trace.gaps,
+        )
+    os.replace(tmp, path)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        return Trace(
+            data["pcs"],
+            data["types"],
+            data["takens"],
+            data["targets"],
+            data["gaps"],
+            name=str(data["name"][0]),
+        )

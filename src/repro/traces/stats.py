@@ -1,0 +1,89 @@
+"""Trace-level statistics.
+
+These are the workload-characterisation numbers §IV of the paper leans on:
+the conditional/unconditional branch mix (the paper measures ~3.89
+conditional branches per unconditional branch, with unconditional branches
+being ~20% of all branches and calls/returns ~14%), branch working-set
+size, and taken rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.traces.trace import Trace
+from repro.traces.types import BranchType
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of one trace."""
+
+    name: str
+    num_branches: int
+    num_instructions: int
+    num_conditional: int
+    num_unconditional: int
+    num_calls: int
+    num_returns: int
+    num_indirect: int
+    unique_pcs: int
+    unique_conditional_pcs: int
+    taken_rate: float
+    per_type: Dict[BranchType, int] = field(default_factory=dict)
+
+    @property
+    def cond_per_uncond(self) -> float:
+        """Conditional branches per unconditional branch (§IV: ~3.89)."""
+        if self.num_unconditional == 0:
+            return float("inf")
+        return self.num_conditional / self.num_unconditional
+
+    @property
+    def uncond_fraction(self) -> float:
+        if self.num_branches == 0:
+            return 0.0
+        return self.num_unconditional / self.num_branches
+
+    @property
+    def call_ret_fraction(self) -> float:
+        if self.num_branches == 0:
+            return 0.0
+        return (self.num_calls + self.num_returns) / self.num_branches
+
+    @property
+    def branches_per_instruction(self) -> float:
+        if self.num_instructions == 0:
+            return 0.0
+        return self.num_branches / self.num_instructions
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace`` in a single pass."""
+    types = trace.types
+    per_type: Dict[BranchType, int] = {}
+    for bt in BranchType:
+        per_type[bt] = int((types == int(bt)).sum())
+
+    cond = per_type[BranchType.COND]
+    uncond = len(trace) - cond
+    cond_mask = types == int(BranchType.COND)
+    cond_taken = int(trace.takens[cond_mask].sum())
+
+    return TraceStats(
+        name=trace.name,
+        num_branches=len(trace),
+        num_instructions=trace.num_instructions,
+        num_conditional=cond,
+        num_unconditional=uncond,
+        num_calls=per_type[BranchType.CALL] + per_type[BranchType.IND_CALL],
+        num_returns=per_type[BranchType.RET],
+        num_indirect=per_type[BranchType.IND_JUMP] + per_type[BranchType.IND_CALL],
+        unique_pcs=int(np.unique(trace.pcs).size),
+        unique_conditional_pcs=int(np.unique(trace.pcs[cond_mask]).size),
+        taken_rate=(cond_taken / cond) if cond else 0.0,
+        per_type=per_type,
+    )

@@ -1,0 +1,72 @@
+"""Synthetic server-workload substrate.
+
+The paper evaluates on gem5-collected traces of server applications plus
+Google production traces; neither is available offline, so this package
+builds the closest synthetic equivalent (DESIGN.md §1): programs with
+multi-tier call graphs (request dispatch → handlers → services → shared
+helpers), loops, and a behaviour model per conditional branch.  The
+behaviour mix is what gives the traces the paper's structure:
+
+* most branches are biased or short-history-predictable,
+* a small set of *complex* branches compute their outcome from the current
+  call path and a few bits of recent global history — precisely the
+  branches that need many long-history patterns globally but only a few
+  patterns per program context (§IV),
+* loop trip counts vary with call context,
+* a little irreducible noise bounds achievable accuracy.
+"""
+
+from repro.workloads.behaviors import (
+    Behavior,
+    BiasedBehavior,
+    LocalPatternBehavior,
+    GlobalCorrelatedBehavior,
+    ContextCorrelatedBehavior,
+    RandomBehavior,
+    LoopTripBehavior,
+    ExecContext,
+)
+from repro.workloads.program import (
+    ComputeStmt,
+    CondStmt,
+    IfStmt,
+    LoopStmt,
+    CallStmt,
+    JumpStmt,
+    Function,
+    Program,
+)
+from repro.workloads.generator import generate_trace
+from repro.workloads.builder import WorkloadSpec, build_program
+from repro.workloads.catalog import (
+    WORKLOADS,
+    workload_names,
+    get_spec,
+    generate_workload,
+)
+
+__all__ = [
+    "Behavior",
+    "BiasedBehavior",
+    "LocalPatternBehavior",
+    "GlobalCorrelatedBehavior",
+    "ContextCorrelatedBehavior",
+    "RandomBehavior",
+    "LoopTripBehavior",
+    "ExecContext",
+    "ComputeStmt",
+    "CondStmt",
+    "IfStmt",
+    "LoopStmt",
+    "CallStmt",
+    "JumpStmt",
+    "Function",
+    "Program",
+    "generate_trace",
+    "WorkloadSpec",
+    "build_program",
+    "WORKLOADS",
+    "workload_names",
+    "get_spec",
+    "generate_workload",
+]

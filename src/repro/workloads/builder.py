@@ -1,0 +1,313 @@
+"""Construct random-but-seeded synthetic server programs.
+
+A program has a four-tier call graph shaped like a server application:
+
+    entry (request loop) --indirect dispatch--> handlers --> services --> leaves
+
+Handlers model request types (dispatch probabilities follow a Zipf-like
+skew); services and leaves are shared across handlers, so the same static
+branch executes under many distinct call paths — the precondition for the
+paper's context-locality observation.  A configurable number of branches
+in shared functions get :class:`ContextCorrelatedBehavior` ("complex"
+branches), and loop trip counts can depend on the call context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.rng import XorShift32
+from repro.workloads.behaviors import (
+    Behavior,
+    BiasedBehavior,
+    ContextCorrelatedBehavior,
+    GlobalCorrelatedBehavior,
+    LocalPatternBehavior,
+    LoopTripBehavior,
+    RandomBehavior,
+)
+from repro.workloads.program import (
+    CallStmt,
+    ComputeStmt,
+    CondStmt,
+    Function,
+    IfStmt,
+    JumpStmt,
+    LoopStmt,
+    Program,
+    Stmt,
+    assign_branch_ids,
+)
+
+
+@dataclass
+class WorkloadSpec:
+    """All knobs of a synthetic workload (see module docstring).
+
+    ``behavior_weights`` gives the relative frequency of the easy branch
+    behaviours (``biased``, ``local``, ``global``, ``random``); complex
+    branches are budgeted separately via ``num_complex`` because their
+    count (not frequency) is what the paper's working-set study measures.
+    """
+
+    name: str
+    seed: int = 1
+    num_handlers: int = 12
+    num_services: int = 40
+    num_leaves: int = 90
+    min_stmts: int = 8
+    max_stmts: int = 18
+    behavior_weights: Dict[str, int] = field(
+        default_factory=lambda: {"biased": 64, "local": 2, "global": 31, "random": 3}
+    )
+    bias_low: float = 0.0005
+    bias_high: float = 0.008
+    global_depth_max: int = 24
+    global_noise: float = 0.005
+    random_noise_center: float = 0.12
+    num_complex: int = 40
+    complex_local_bits: int = 2
+    complex_noise: float = 0.02
+    loop_probability: float = 0.06
+    loop_base_max: int = 10
+    loop_spread: int = 3
+    call_fanout: int = 3
+    indirect_fraction: float = 0.25
+    complex_sites_per_hot_leaf: int = 2
+    hot_leaf_fraction: float = 0.5
+    client_fraction: float = 0.15
+    dispatch_skew: float = 1.2
+    jump_probability: float = 0.03
+    compute_max: int = 8
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.min_stmts < 2 or self.max_stmts < self.min_stmts:
+            raise ValueError("invalid statement-count range")
+        if self.num_handlers < 1 or self.num_services < 1 or self.num_leaves < 1:
+            raise ValueError("each tier needs at least one function")
+        if not self.behavior_weights:
+            raise ValueError("behavior_weights must be non-empty")
+
+    @property
+    def num_functions(self) -> int:
+        return 1 + self.num_handlers + self.num_services + self.num_leaves
+
+
+class _Builder:
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = XorShift32(spec.seed * 2654435761 % (1 << 32) or 1)
+        # Tier id ranges.
+        self.entry_id = 0
+        self.handler_ids = list(range(1, 1 + spec.num_handlers))
+        base = 1 + spec.num_handlers
+        self.service_ids = list(range(base, base + spec.num_services))
+        base += spec.num_services
+        self.leaf_ids = list(range(base, base + spec.num_leaves))
+        # Hot shared helpers: a handful of leaves every service leans on;
+        # they host the complex branches (see _hot_leaf_body).
+        num_hot = min(
+            len(self.leaf_ids) - 1,
+            max(1, (spec.num_complex + spec.complex_sites_per_hot_leaf - 1)
+                // spec.complex_sites_per_hot_leaf),
+        )
+        self.hot_leaf_ids = self.leaf_ids[:num_hot]
+        self.regular_leaf_ids = self.leaf_ids[num_hot:]
+        # Partition hot helpers among service "clients": each hot leaf is
+        # used by a subset of services, which bounds the call-path
+        # diversity any one complex branch sees (and therefore the number
+        # of patterns it needs per execution observed).
+        self.clients_of: Dict[int, List[int]] = {sid: [] for sid in self.service_ids}
+        for hid in self.hot_leaf_ids:
+            adopters = [
+                sid for sid in self.service_ids
+                if self._prob(spec.client_fraction)
+            ]
+            if not adopters:
+                adopters = [self.service_ids[self.rng.below(len(self.service_ids))]]
+            for sid in adopters:
+                self.clients_of[sid].append(hid)
+
+    # -- sampling helpers ----------------------------------------------------
+
+    def _prob(self, p: float) -> bool:
+        return self.rng.below(10_000) < int(p * 10_000)
+
+    def _range(self, lo: int, hi: int) -> int:
+        return lo + self.rng.below(hi - lo + 1)
+
+    def _easy_behavior(self) -> Behavior:
+        spec = self.spec
+        total = sum(spec.behavior_weights.values())
+        pick = self.rng.below(total)
+        for kind, weight in spec.behavior_weights.items():
+            pick -= weight
+            if pick < 0:
+                break
+        if kind == "biased":
+            p = spec.bias_low + (spec.bias_high - spec.bias_low) * (
+                self.rng.below(1000) / 1000.0
+            )
+            if self.rng.chance(1, 2):
+                p = 1.0 - p
+            return BiasedBehavior(p)
+        if kind == "local":
+            length = self._range(3, 8)
+            pattern = "".join(
+                "T" if self.rng.chance(1, 2) else "N" for _ in range(length)
+            )
+            return LocalPatternBehavior(pattern)
+        if kind == "global":
+            # Mostly near-range correlations; a tail of long-range ones.
+            if self.rng.chance(7, 10):
+                depth = self._range(2, 10)
+            else:
+                depth = self._range(11, self.spec.global_depth_max)
+            return GlobalCorrelatedBehavior(depth, noise=spec.global_noise,
+                                            invert=self.rng.chance(1, 2))
+        if kind == "random":
+            center = spec.random_noise_center
+            p = min(1.0, max(0.0, center + (self.rng.below(200) - 100) / 1000.0))
+            if self.rng.chance(1, 2):
+                p = 1.0 - p
+            return RandomBehavior(p)
+        raise ValueError(f"unknown behavior kind {kind!r}")
+
+    # -- body construction ---------------------------------------------------
+
+    def _call_stmt(self, callee_pool: List[int],
+                   hot_pool: Optional[List[int]] = None) -> CallStmt:
+        spec = self.spec
+        if hot_pool and self._prob(spec.hot_leaf_fraction):
+            # Shared-helper call: every service leans on the hot leaves.
+            return CallStmt([hot_pool[self.rng.below(len(hot_pool))]])
+        if len(callee_pool) > 1 and self._prob(spec.indirect_fraction):
+            fanout = min(len(callee_pool), self._range(2, max(2, spec.call_fanout)))
+            picks: List[int] = []
+            while len(picks) < fanout:
+                c = callee_pool[self.rng.below(len(callee_pool))]
+                if c not in picks:
+                    picks.append(c)
+            weights = [1 + self.rng.below(8) for _ in picks]
+            return CallStmt(picks, weights)
+        return CallStmt([callee_pool[self.rng.below(len(callee_pool))]])
+
+    def _body(self, callee_pool: List[int], call_budget: int,
+              nested: bool = False,
+              hot_pool: Optional[List[int]] = None) -> List[Stmt]:
+        spec = self.spec
+        n = self._range(spec.min_stmts, spec.max_stmts)
+        if nested:
+            n = max(2, n // 4)
+        body: List[Stmt] = []
+        calls_made = 0
+        loop_slot = int(spec.loop_probability * 100)
+        jump_slot = int(spec.jump_probability * 100)
+        for _ in range(n):
+            roll = self.rng.below(100)
+            if roll < 20:
+                body.append(ComputeStmt(self._range(2, spec.compute_max)))
+            elif roll < 44:
+                body.append(CondStmt(self._easy_behavior()))
+            elif roll < 58:
+                inner: List[Stmt] = [ComputeStmt(self._range(1, spec.compute_max))]
+                if callee_pool and calls_made < call_budget and self.rng.chance(2, 5):
+                    inner.append(self._call_stmt(callee_pool, hot_pool))
+                    calls_made += 1
+                if self.rng.chance(1, 3):
+                    inner.append(CondStmt(self._easy_behavior()))
+                body.append(IfStmt(self._easy_behavior(), inner))
+            elif roll < 58 + loop_slot and not nested:
+                context_dep = self.rng.chance(9, 10)
+                trip = LoopTripBehavior(
+                    base=self._range(3, spec.loop_base_max),
+                    spread=spec.loop_spread if context_dep else 0,
+                    context_dependent=context_dep,
+                )
+                inner = self._body(callee_pool, call_budget=1, nested=True,
+                                   hot_pool=hot_pool)
+                body.append(LoopStmt(trip, inner))
+            elif roll < 58 + loop_slot + jump_slot:
+                body.append(JumpStmt())
+            elif callee_pool and calls_made < call_budget:
+                body.append(self._call_stmt(callee_pool, hot_pool))
+                calls_made += 1
+            else:
+                body.append(ComputeStmt(self._range(1, spec.compute_max)))
+        if callee_pool and calls_made == 0:
+            body.append(self._call_stmt(callee_pool, hot_pool))
+        return body
+
+    def _hot_leaf_body(self, num_sites: int) -> List[Stmt]:
+        """Body of a hot shared helper: hosts the complex branches.
+
+        Kept structurally simple (no loops/calls/jumps) so the branch
+        working set of a hot leaf is exactly its complex sites plus a bit
+        of biased glue — maximising executions per complex pattern, the
+        way real hot utility functions (hash probes, comparators, lock
+        acquires) concentrate dynamic branch counts.
+        """
+        spec = self.spec
+        body: List[Stmt] = [ComputeStmt(self._range(2, spec.compute_max))]
+        for _ in range(num_sites):
+            local_bits = max(1, spec.complex_local_bits - self.rng.below(2))
+            path_depth = 3 if self.rng.chance(3, 5) else 2
+            body.append(CondStmt(ContextCorrelatedBehavior(
+                local_bits=local_bits, noise=spec.complex_noise,
+                path_depth=path_depth)))
+            if self.rng.chance(1, 2):
+                body.append(ComputeStmt(self._range(1, spec.compute_max)))
+        body.append(CondStmt(self._easy_behavior()))
+        return body
+
+    # -- program assembly -----------------------------------------------------
+
+    def build(self) -> Program:
+        spec = self.spec
+        functions: List[Function] = []
+
+        # Entry: the request loop body — dispatch to handlers.
+        weights = [
+            max(1, int(1000.0 / (i + 1) ** spec.dispatch_skew))
+            for i in range(len(self.handler_ids))
+        ]
+        entry_body: List[Stmt] = [
+            ComputeStmt(self._range(2, spec.compute_max)),
+            CallStmt(self.handler_ids, weights),
+            ComputeStmt(self._range(1, spec.compute_max)),
+        ]
+        functions.append(Function(self.entry_id, entry_body))
+
+        # Distribute the complex-site budget over the hot leaves.
+        sites_left = spec.num_complex
+        sites_per_leaf = {}
+        for fid in self.hot_leaf_ids:
+            take = min(sites_left, spec.complex_sites_per_hot_leaf)
+            sites_per_leaf[fid] = max(1, take)
+            sites_left -= take
+
+        for fid in self.handler_ids:
+            functions.append(
+                Function(fid, self._body(self.service_ids, call_budget=6))
+            )
+        for fid in self.service_ids:
+            functions.append(
+                Function(fid, self._body(self.regular_leaf_ids, call_budget=4,
+                                         hot_pool=self.clients_of[fid] or None))
+            )
+        for fid in self.leaf_ids:
+            if fid in sites_per_leaf:
+                functions.append(Function(fid, self._hot_leaf_body(sites_per_leaf[fid])))
+            else:
+                functions.append(Function(fid, self._body([], call_budget=0)))
+
+        program = Program(functions, entry_function=self.entry_id)
+        assign_branch_ids(program)
+        return program
+
+
+def build_program(spec: WorkloadSpec) -> Program:
+    """Build the deterministic program described by ``spec``."""
+    return _Builder(spec).build()

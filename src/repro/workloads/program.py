@@ -1,0 +1,227 @@
+"""Synthetic program model: statements, functions, address layout.
+
+A program is a set of functions; a function body is a list of statements.
+Statement types map to the control-flow primitives the paper's workloads
+exhibit: straight-line compute, conditional branches (bare or guarding a
+skippable body), loops with a back-edge branch, direct/indirect calls, and
+region-transition jumps.  Returns are implicit at function end.
+
+Addresses are assigned once after construction so branch PCs, targets and
+instruction gaps are consistent — the L1-I model (Fig 11) walks this
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.workloads.behaviors import Behavior, LoopTripBehavior
+
+INSTR_BYTES = 4  # fixed-width ISA assumption for address layout
+
+
+@dataclass
+class ComputeStmt:
+    """``instrs`` straight-line instructions (no branch emitted)."""
+
+    instrs: int
+
+    def __post_init__(self) -> None:
+        if self.instrs < 1:
+            raise ValueError("compute statement needs >= 1 instruction")
+
+
+@dataclass
+class CondStmt:
+    """A conditional branch that does not alter local control flow.
+
+    Models compare-and-branch idioms whose two paths re-join immediately
+    (e.g. a branch over a single instruction); only the direction matters.
+    """
+
+    behavior: Behavior
+    branch_id: int = -1
+    pc: int = -1
+    target: int = -1
+
+
+@dataclass
+class IfStmt:
+    """A conditional branch guarding a skippable body.
+
+    The branch is 'branch-if-taken-skips-body': when *taken*, control jumps
+    past ``body``; when not taken, the body executes.  Bodies may contain
+    calls, so outcomes shape the call-context stream — and, for the Fig 13
+    study, which conditional-branch PCs execute next.
+    """
+
+    behavior: Behavior
+    body: List["Stmt"]
+    branch_id: int = -1
+    pc: int = -1
+    target: int = -1
+
+
+@dataclass
+class LoopStmt:
+    """A bottom-tested loop: body, then a back-edge conditional branch.
+
+    The back-edge is taken while the loop continues and falls through on
+    exit.  Trip counts come from a :class:`LoopTripBehavior`.
+    """
+
+    trip: LoopTripBehavior
+    body: List["Stmt"]
+    branch_id: int = -1
+    pc: int = -1
+    target: int = -1  # loop entry (back-edge target)
+
+
+@dataclass
+class CallStmt:
+    """A call to one of ``callees``.
+
+    With one callee this is a direct call; with several it models an
+    indirect call through a dispatch table, the callee picked by seeded
+    weighted choice at execution time.
+    """
+
+    callees: Sequence[int]  # function ids
+    weights: Optional[Sequence[int]] = None
+    pc: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.callees:
+            raise ValueError("call statement needs at least one callee")
+        if self.weights is not None and len(self.weights) != len(self.callees):
+            raise ValueError("weights must match callees")
+
+    @property
+    def is_indirect(self) -> bool:
+        return len(self.callees) > 1
+
+
+@dataclass
+class JumpStmt:
+    """A direct unconditional jump to the next region of the function."""
+
+    pc: int = -1
+    target: int = -1
+
+
+Stmt = Union[ComputeStmt, CondStmt, IfStmt, LoopStmt, CallStmt, JumpStmt]
+
+
+@dataclass
+class Function:
+    """A function: id, entry address (assigned later) and body."""
+
+    function_id: int
+    body: List[Stmt] = field(default_factory=list)
+    entry: int = -1
+    return_pc: int = -1  # pc of the implicit return at the end
+
+
+@dataclass
+class Program:
+    """A whole synthetic program."""
+
+    functions: List[Function]
+    entry_function: int
+    base_address: int = 0x400000
+
+    def __post_init__(self) -> None:
+        ids = [f.function_id for f in self.functions]
+        if sorted(ids) != list(range(len(ids))):
+            raise ValueError("function ids must be 0..n-1")
+        if not 0 <= self.entry_function < len(self.functions):
+            raise ValueError("entry function out of range")
+        self._assign_addresses()
+
+    def function(self, function_id: int) -> Function:
+        return self.functions[function_id]
+
+    @property
+    def num_static_branches(self) -> int:
+        """Static conditional branch sites in the program."""
+        count = 0
+        for fn in self.functions:
+            count += _count_cond(fn.body)
+        return count
+
+    def _assign_addresses(self) -> None:
+        cursor = self.base_address
+        for fn in self.functions:
+            fn.entry = cursor
+            cursor = _layout(fn.body, cursor)
+            fn.return_pc = cursor
+            cursor += INSTR_BYTES
+            # Pad between functions so layouts don't abut (realistic
+            # alignment; also keeps I-cache lines per function distinct).
+            cursor = (cursor + 63) & ~63
+
+
+def _count_cond(body: Sequence[Stmt]) -> int:
+    count = 0
+    for stmt in body:
+        if isinstance(stmt, (CondStmt, LoopStmt)):
+            count += 1
+            if isinstance(stmt, LoopStmt):
+                count += _count_cond(stmt.body)
+        elif isinstance(stmt, IfStmt):
+            count += 1 + _count_cond(stmt.body)
+    return count
+
+
+def _layout(body: List[Stmt], cursor: int) -> int:
+    """Assign PCs/targets to ``body`` starting at ``cursor``; return end."""
+    for stmt in body:
+        if isinstance(stmt, ComputeStmt):
+            cursor += stmt.instrs * INSTR_BYTES
+        elif isinstance(stmt, CondStmt):
+            stmt.pc = cursor
+            cursor += INSTR_BYTES
+            # Taken path skips one instruction and re-joins.
+            stmt.target = cursor + INSTR_BYTES
+            cursor = stmt.target
+        elif isinstance(stmt, IfStmt):
+            stmt.pc = cursor
+            cursor += INSTR_BYTES
+            cursor = _layout(stmt.body, cursor)
+            stmt.target = cursor  # taken -> skip body
+        elif isinstance(stmt, LoopStmt):
+            loop_entry = cursor
+            cursor = _layout(stmt.body, cursor)
+            stmt.pc = cursor  # back-edge branch at loop bottom
+            stmt.target = loop_entry
+            cursor += INSTR_BYTES
+        elif isinstance(stmt, CallStmt):
+            stmt.pc = cursor
+            cursor += INSTR_BYTES
+        elif isinstance(stmt, JumpStmt):
+            stmt.pc = cursor
+            # Jump over a small padding region to the next statement.
+            stmt.target = cursor + 4 * INSTR_BYTES
+            cursor = stmt.target
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise TypeError(f"unknown statement {stmt!r}")
+    return cursor
+
+
+def assign_branch_ids(program: Program) -> int:
+    """Give every conditional-branch statement a unique id; return count."""
+    next_id = 0
+
+    def walk(body: Sequence[Stmt]) -> None:
+        nonlocal next_id
+        for stmt in body:
+            if isinstance(stmt, (CondStmt, IfStmt, LoopStmt)):
+                stmt.branch_id = next_id
+                next_id += 1
+            if isinstance(stmt, (IfStmt, LoopStmt)):
+                walk(stmt.body)
+
+    for fn in program.functions:
+        walk(fn.body)
+    return next_id

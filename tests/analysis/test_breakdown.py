@@ -1,0 +1,65 @@
+"""Fig 15 breakdown arithmetic."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_from_counts, override_breakdown
+from repro.sim.results import SimulationResult
+
+COUNTS = {
+    "predictions": 1000,
+    "llbp_provided": 150,
+    "no_override": 35,
+    "override_good": 10,
+    "override_bad": 5,
+    "override_both_correct": 90,
+    "override_both_wrong": 10,
+}
+
+
+def test_fractions():
+    b = breakdown_from_counts(COUNTS)
+    assert b.provided == pytest.approx(0.15)
+    assert b.no_override == pytest.approx(0.035)
+    assert b.good_override == pytest.approx(0.010)
+
+
+def test_override_rate():
+    b = breakdown_from_counts(COUNTS)
+    assert b.override_rate_of_provided == pytest.approx(115 / 150)
+
+
+def test_bad_share():
+    b = breakdown_from_counts(COUNTS)
+    assert b.bad_share_of_overrides == pytest.approx(15 / 115)
+
+
+def test_redundant_share():
+    b = breakdown_from_counts(COUNTS)
+    assert b.redundant_share_of_overrides == pytest.approx(100 / 115)
+
+
+def test_requires_counts():
+    with pytest.raises(ValueError):
+        breakdown_from_counts({})
+
+
+def test_from_simulation_result():
+    result = SimulationResult(
+        workload="w", predictor="llbp",
+        instructions=1, warmup_instructions=0,
+        branches=0, cond_branches=0, mispredictions=0,
+        extra=dict(COUNTS),
+    )
+    assert override_breakdown(result).provided == pytest.approx(0.15)
+
+
+def test_zero_overrides_degenerate():
+    counts = dict(COUNTS)
+    counts["no_override"] = counts["llbp_provided"]
+    for key in ("override_good", "override_bad", "override_both_correct",
+                "override_both_wrong"):
+        counts[key] = 0
+    b = breakdown_from_counts(counts)
+    assert b.override_rate_of_provided == pytest.approx(0.0)
+    assert b.bad_share_of_overrides == 0.0
+    assert b.redundant_share_of_overrides == 0.0

@@ -1,0 +1,45 @@
+"""Context-locality study (Fig 5 machinery)."""
+
+from repro.analysis.contexts import (
+    ContextStudyResult,
+    _context_hash,
+    patterns_per_context_study,
+)
+
+
+def test_context_hash_depends_on_order():
+    assert _context_hash([0x100, 0x200]) != _context_hash([0x200, 0x100])
+
+
+def test_context_hash_depends_on_content():
+    assert _context_hash([0x100, 0x200]) != _context_hash([0x100, 0x300])
+
+
+def test_context_hash_fits_bits():
+    value = _context_hash([0xFFFFFFFF] * 8, bits=20)
+    assert 0 <= value < (1 << 20)
+
+
+def test_study_result_percentiles():
+    res = ContextStudyResult(window=4, counts=[1, 2, 3, 4, 100])
+    assert res.p50 == 3
+    assert res.p95 == 100
+    assert ContextStudyResult(window=0, counts=[]).p50 == 0
+
+
+def test_patterns_per_context_study(tiny_workload_trace):
+    from repro.predictors.presets import tsl_64k
+    from repro.sim.engine import run_simulation
+
+    baseline = run_simulation(tiny_workload_trace, tsl_64k(), collect_per_pc=True)
+    results = patterns_per_context_study(
+        tiny_workload_trace, baseline,
+        windows=(0, 4, 16), top_branches=32,
+    )
+    by_window = {r.window: r for r in results}
+    assert set(by_window) == {0, 4, 16}
+    # Context locality: deeper windows need fewer patterns per context.
+    assert by_window[16].p95 <= by_window[0].p95
+    assert by_window[4].p95 <= by_window[0].p95
+    # Deeper windows slice into at least as many contexts.
+    assert len(by_window[16].counts) >= len(by_window[0].counts)

@@ -1,0 +1,119 @@
+"""Set-associative container semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.assoc import SetAssociative
+
+
+def test_insert_and_get():
+    cache = SetAssociative(num_sets=2, ways=2)
+    cache.insert(0, "a")
+    assert cache.get(0) == "a"
+    assert 0 in cache
+
+
+def test_miss_returns_none():
+    cache = SetAssociative(num_sets=2, ways=2)
+    assert cache.get(5) is None
+
+
+def test_lru_eviction_order():
+    cache = SetAssociative(num_sets=1, ways=2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    cache.get(1)  # touch 1 -> 2 becomes LRU
+    evicted = cache.insert(3, "c")
+    assert evicted == (2, "b")
+    assert 1 in cache and 3 in cache
+
+
+def test_peek_does_not_touch():
+    cache = SetAssociative(num_sets=1, ways=2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    cache.peek(1)  # no LRU refresh: 1 stays LRU
+    evicted = cache.insert(3, "c")
+    assert evicted == (1, "a")
+
+
+def test_reinsert_updates_value_without_eviction():
+    cache = SetAssociative(num_sets=1, ways=2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    assert cache.insert(1, "a2") is None
+    assert cache.get(1) == "a2"
+
+
+def test_set_partitioning():
+    cache = SetAssociative(num_sets=2, ways=1)
+    cache.insert(0, "even")
+    cache.insert(1, "odd")
+    assert cache.get(0) == "even" and cache.get(1) == "odd"
+    # key 2 maps to set 0 and evicts only there
+    evicted = cache.insert(2, "even2")
+    assert evicted == (0, "even")
+    assert cache.get(1) == "odd"
+
+
+def test_custom_victim_picker():
+    # Always evict way index 1 (second-oldest entry).
+    cache = SetAssociative(num_sets=1, ways=3, victim_picker=lambda items: 1)
+    for key in (1, 2, 3):
+        cache.insert(key, key)
+    evicted = cache.insert(4, 4)
+    assert evicted == (2, 2)
+
+
+def test_victim_picker_out_of_range():
+    cache = SetAssociative(num_sets=1, ways=1, victim_picker=lambda items: 5)
+    cache.insert(1, "a")
+    with pytest.raises(IndexError):
+        cache.insert(2, "b")
+
+
+def test_remove_and_len():
+    cache = SetAssociative(num_sets=2, ways=2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    assert len(cache) == 2
+    assert cache.remove(1) == "a"
+    assert cache.remove(1) is None
+    assert len(cache) == 1
+
+
+def test_clear_and_items():
+    cache = SetAssociative(num_sets=2, ways=2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    assert dict(cache.items()) == {1: "a", 2: "b"}
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        SetAssociative(0, 1)
+    with pytest.raises(ValueError):
+        SetAssociative(1, 0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 100)), max_size=200))
+@settings(max_examples=50)
+def test_capacity_never_exceeded(ops):
+    cache = SetAssociative(num_sets=4, ways=2)
+    for key, value in ops:
+        cache.insert(key, value)
+        assert len(cache) <= 8
+        for s in cache._sets:
+            assert len(s) <= 2
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_most_recent_insert_always_present(keys):
+    cache = SetAssociative(num_sets=2, ways=2)
+    for key in keys:
+        cache.insert(key, key * 10)
+        assert cache.get(key) == key * 10

@@ -1,0 +1,89 @@
+"""Saturating counter semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SaturatingCounter, WidthCounter, ctr_update
+
+
+class TestSaturatingCounter:
+    def test_range_3bit(self):
+        c = SaturatingCounter(bits=3)
+        assert (c.lo, c.hi) == (-4, 3)
+
+    def test_taken_threshold(self):
+        assert SaturatingCounter(3, 0).taken
+        assert not SaturatingCounter(3, -1).taken
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(3, 3)
+        c.update(True)
+        assert c.value == 3
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(3, -4)
+        c.update(False)
+        assert c.value == -4
+
+    def test_set_weak(self):
+        c = SaturatingCounter(3)
+        c.set_weak(True)
+        assert c.value == 0 and c.taken and c.is_weak()
+        c.set_weak(False)
+        assert c.value == -1 and not c.taken and c.is_weak()
+
+    def test_high_confidence(self):
+        assert SaturatingCounter(3, 3).is_high_confidence()
+        assert SaturatingCounter(3, 2).is_high_confidence()
+        assert not SaturatingCounter(3, 1).is_high_confidence()
+        assert SaturatingCounter(3, -4).is_high_confidence()
+        assert SaturatingCounter(3, -3).is_high_confidence()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(3, 9)
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_stays_in_range(self, outcomes):
+        c = SaturatingCounter(3)
+        for taken in outcomes:
+            c.update(taken)
+            assert c.lo <= c.value <= c.hi
+
+
+class TestCtrUpdate:
+    @given(st.integers(min_value=-4, max_value=3), st.booleans())
+    def test_matches_object_counter(self, value, taken):
+        c = SaturatingCounter(3, value)
+        c.update(taken)
+        assert ctr_update(value, taken, -4, 3) == c.value
+
+
+class TestWidthCounter:
+    def test_range(self):
+        c = WidthCounter(bits=2)
+        assert c.hi == 3
+
+    def test_saturation(self):
+        c = WidthCounter(2, 3)
+        c.increment()
+        assert c.value == 3 and c.saturated
+
+    def test_floor(self):
+        c = WidthCounter(2, 0)
+        c.decrement()
+        assert c.value == 0
+
+    def test_reset(self):
+        c = WidthCounter(2, 2)
+        c.reset()
+        assert c.value == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            WidthCounter(0)
+        with pytest.raises(ValueError):
+            WidthCounter(2, 4)

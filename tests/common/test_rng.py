@@ -1,0 +1,52 @@
+"""Deterministic PRNG behaviour."""
+
+import pytest
+
+from repro.common.rng import XorShift32
+
+
+def test_deterministic_sequence():
+    a = XorShift32(seed=42)
+    b = XorShift32(seed=42)
+    assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+
+def test_different_seeds_diverge():
+    a = XorShift32(seed=1)
+    b = XorShift32(seed=2)
+    assert [a.next() for _ in range(10)] != [b.next() for _ in range(10)]
+
+
+def test_zero_seed_is_fixed_up():
+    rng = XorShift32(seed=0)
+    assert rng.state != 0
+    assert rng.next() != 0
+
+
+def test_below_range():
+    rng = XorShift32(seed=3)
+    for _ in range(1000):
+        assert 0 <= rng.below(7) < 7
+
+
+def test_below_invalid():
+    with pytest.raises(ValueError):
+        XorShift32().below(0)
+
+
+def test_chance_extremes():
+    rng = XorShift32(seed=5)
+    assert all(rng.chance(1, 1) for _ in range(50))
+    assert not any(rng.chance(0, 10) for _ in range(50))
+
+
+def test_chance_roughly_calibrated():
+    rng = XorShift32(seed=9)
+    hits = sum(rng.chance(1, 4) for _ in range(20000))
+    assert 0.22 < hits / 20000 < 0.28
+
+
+def test_32bit_outputs():
+    rng = XorShift32(seed=123)
+    for _ in range(100):
+        assert 0 <= rng.next() < (1 << 32)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.trace import Trace, TraceBuilder
+from repro.traces.types import BranchType
+
+
+@pytest.fixture
+def pattern_trace() -> Trace:
+    """A single branch cycling through a period-5 pattern."""
+    builder = TraceBuilder("pattern5")
+    pattern = [True, True, True, False, False]
+    for i in range(4000):
+        builder.append(0x1000, BranchType.COND, pattern[i % 5], 0x1008, 2)
+    return builder.build()
+
+
+@pytest.fixture
+def mixed_trace() -> Trace:
+    """A small trace with every branch type."""
+    builder = TraceBuilder("mixed")
+    for i in range(300):
+        builder.append(0x1000, BranchType.COND, i % 3 != 0, 0x1008, 3)
+        builder.append(0x1010, BranchType.CALL, True, 0x2000, 2)
+        builder.append(0x2004, BranchType.COND, i % 2 == 0, 0x200C, 4)
+        builder.append(0x2010, BranchType.RET, True, 0x1014, 2)
+        builder.append(0x1020, BranchType.JUMP, True, 0x1040, 3)
+        if i % 4 == 0:
+            builder.append(0x1044, BranchType.IND_CALL, True, 0x3000, 2)
+            builder.append(0x3008, BranchType.RET, True, 0x1048, 2)
+    return builder.build()
+
+
+@pytest.fixture
+def tiny_workload_trace() -> Trace:
+    """A real (but small) generated workload trace."""
+    from repro.workloads.builder import WorkloadSpec, build_program
+    from repro.workloads.generator import generate_trace
+
+    spec = WorkloadSpec(
+        name="tiny", seed=7,
+        num_handlers=3, num_services=6, num_leaves=12,
+        num_complex=6,
+    )
+    program = build_program(spec)
+    return generate_trace(program, 60_000, seed=7, name="tiny")
+
+
+@pytest.fixture
+def isolated_caches(tmp_path, monkeypatch):
+    """Point trace/result caches at a temp dir and shrink budgets."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "60000")
+    monkeypatch.setenv("REPRO_WORKLOADS", "Kafka")
+    from repro.experiments.runner import clear_memory_cache
+
+    clear_memory_cache()
+    yield tmp_path
+    clear_memory_cache()

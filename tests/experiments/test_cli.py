@@ -1,0 +1,34 @@
+"""The python -m repro.experiments entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import _EXPERIMENTS, main
+
+
+@pytest.fixture(autouse=True)
+def _fast(isolated_caches):
+    """Tiny Kafka-only budget."""
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {"table1", "table2", "table3", "fig01", "fig02", "fig03",
+                "fig05", "fig09", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "fig15"}
+    assert set(_EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_single_experiment_runs(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out and "LLBP" in out
+
+
+def test_simulated_experiment_runs(capsys):
+    assert main(["fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "wasted" in out.lower() or "Fig 1" in out

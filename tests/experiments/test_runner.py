@@ -1,0 +1,77 @@
+"""Experiment runner: predictor keys and result caching."""
+
+import pytest
+
+from repro.experiments.runner import get_result, resolve_predictor
+from repro.llbp.config import ContextSource
+from repro.llbp.predictor import LLBPTageScL
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.tage_sc_l import TageScL
+
+
+class TestResolve:
+    def test_simple_keys(self):
+        assert isinstance(resolve_predictor("tsl64"), TageScL)
+        assert isinstance(resolve_predictor("perfect"), PerfectPredictor)
+        assert resolve_predictor("tsl512").tage._size == 8 * resolve_predictor("tsl64").tage._size
+
+    def test_llbp_default(self):
+        predictor = resolve_predictor("llbp")
+        assert isinstance(predictor, LLBPTageScL)
+        assert predictor.config.simulate_timing
+
+    def test_llbp_parameters(self):
+        predictor = resolve_predictor("llbp:lat0,w=16,d=2,src=all,pb=16")
+        cfg = predictor.config
+        assert not cfg.simulate_timing
+        assert cfg.context_window == 16
+        assert cfg.prefetch_distance == 2
+        assert cfg.context_source is ContextSource.ALL
+        assert cfg.pb_entries == 16
+
+    def test_llbp_ablation_tokens(self):
+        cfg = resolve_predictor("llbp:unbucketed,lru,exclusive,noguard").config
+        assert not cfg.bucketed
+        assert cfg.cd_replacement == "lru"
+        assert cfg.exclusive_provider_training
+        assert not cfg.weak_override_guard
+
+    def test_llbp_geometry_tokens(self):
+        cfg = resolve_predictor("llbp:unbucketed,cd_bits=10,ps=32").config
+        assert cfg.cd_set_bits == 10
+        assert cfg.patterns_per_set == 32
+        assert cfg.bucket_size == 32
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            resolve_predictor("nope")
+
+    def test_unknown_llbp_token(self):
+        with pytest.raises(ValueError):
+            resolve_predictor("llbp:frobnicate")
+        with pytest.raises(ValueError):
+            resolve_predictor("llbp:zz=3")
+
+
+class TestGetResult:
+    def test_runs_and_caches(self, isolated_caches):
+        first = get_result("Kafka", "bimodal")
+        assert first.workload == "Kafka"
+        assert first.cond_branches > 0
+        # Cached on disk: a second call must return identical numbers.
+        from repro.experiments.runner import clear_memory_cache
+
+        clear_memory_cache()
+        second = get_result("Kafka", "bimodal")
+        assert second.mispredictions == first.mispredictions
+        assert second.per_pc_mispredictions == first.per_pc_mispredictions
+        assert second.extra == first.extra
+
+    def test_memory_cache_identity(self, isolated_caches):
+        first = get_result("Kafka", "bimodal")
+        assert get_result("Kafka", "bimodal") is first
+
+    def test_cache_keyed_by_instructions(self, isolated_caches):
+        small = get_result("Kafka", "bimodal", instructions=30_000)
+        large = get_result("Kafka", "bimodal", instructions=60_000)
+        assert small.instructions < large.instructions

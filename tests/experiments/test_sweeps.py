@@ -1,0 +1,48 @@
+"""Sweep experiment modules (Figs 3, 5, 13, 14) on tiny budgets."""
+
+import pytest
+
+from repro.experiments import fig03, fig05, fig13, fig14
+
+
+@pytest.fixture(autouse=True)
+def _fast(isolated_caches):
+    """Tiny Kafka-only budget for every sweep."""
+
+
+def test_fig03_structure():
+    data = fig03.run(workload="Kafka")
+    assert data["workload"] == "Kafka"
+    rows = {r["config"]: r for r in data["rows"]}
+    assert set(rows) == {"tsl64", "tsl128", "tsl256", "tsl512", "tsl1m", "inf-tsl"}
+    assert rows["tsl64"]["misses_vs_64k"] == pytest.approx(1.0)
+    assert all(0 <= r["top_branch_share"] <= 1 for r in data["rows"])
+    assert data["patterns_mean"] > 0
+    assert fig03.format_rows(data)
+
+
+def test_fig05_structure():
+    rows = fig05.run(workload="Kafka", windows=(0, 4), top_branches=16)
+    by_w = {r["W"]: r for r in rows}
+    assert set(by_w) == {0, 4}
+    assert by_w[0]["p50"] >= 1
+    assert by_w[4]["contexts"] >= by_w[0]["contexts"]
+    assert fig05.format_rows(rows)
+
+
+def test_fig13_structure():
+    rows = fig13.run(workloads=["Kafka"], sources=("uncond", "all"),
+                     distances=(0, 4))
+    assert len(rows) == 4
+    keys = {(r["source"], r["D"]) for r in rows}
+    assert ("uncond", 4) in keys and ("all", 0) in keys
+    assert fig13.format_rows(rows)
+
+
+def test_fig14_structure():
+    rows = fig14.run(workloads=["Kafka"], set_bits=(8, 9), pattern_sizes=(8, 16))
+    assert len(rows) == 4
+    by_key = {(r["contexts"], r["patterns_per_set"]): r for r in rows}
+    assert by_key[(256 * 7, 16)]["capacity_kib"] == pytest.approx(
+        2 * by_key[(256 * 7, 8)]["capacity_kib"])
+    assert fig14.format_rows(rows)

@@ -1,0 +1,77 @@
+"""LLBP configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.llbp.config import LLBP_SLOT_LENGTHS, ContextSource, LLBPConfig
+
+
+def test_paper_geometry():
+    config = LLBPConfig()
+    assert config.patterns_per_set == 16
+    assert config.buckets == 4
+    assert config.bucket_size == 4
+    assert len(config.slot_lengths) == 16
+    assert config.pattern_bits == 18          # 3b ctr + 13b tag + 2b length
+    assert config.pattern_set_bits == 288     # §VI
+    assert config.cd_ways == 7
+
+
+def test_slot_lengths_match_paper():
+    distinct = sorted(set(LLBP_SLOT_LENGTHS))
+    assert distinct == [12, 26, 54, 78, 112, 161, 232, 336, 482, 695, 1444, 3000]
+    # Four starred duplicates.
+    assert len(LLBP_SLOT_LENGTHS) - len(distinct) == 4
+
+
+def test_capacity_scaled_from_paper():
+    config = LLBPConfig()
+    # Paper: 14K pattern sets / ~504KiB; we scale by CAPACITY_SCALE=4.
+    assert config.num_pattern_sets == 14336 // 4
+    assert abs(config.storage_bits / 8 / 1024 - 126) < 1.0  # ~504/4 KiB
+
+
+def test_zero_latency_variant():
+    config = LLBPConfig()
+    zero = config.zero_latency()
+    assert config.simulate_timing and not zero.simulate_timing
+    assert zero.prefetch_latency_instructions == 0
+    assert config.prefetch_latency_instructions > 0
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        dataclasses.replace(LLBPConfig(), patterns_per_set=15)
+
+
+def test_slot_lengths_must_be_sorted():
+    bad = tuple(reversed(LLBP_SLOT_LENGTHS))
+    with pytest.raises(ValueError):
+        dataclasses.replace(LLBPConfig(), slot_lengths=bad)
+
+
+def test_slot_lengths_must_exist_in_tage_ladder():
+    bad = LLBP_SLOT_LENGTHS[:-1] + (2999,)
+    with pytest.raises(ValueError):
+        dataclasses.replace(LLBPConfig(), slot_lengths=bad)
+
+
+def test_unbucketed_allows_any_size():
+    config = dataclasses.replace(LLBPConfig(), bucketed=False, patterns_per_set=13)
+    assert config.bucket_size == 13
+
+
+def test_replacement_policy_validated():
+    with pytest.raises(ValueError):
+        dataclasses.replace(LLBPConfig(), cd_replacement="random")
+
+
+def test_context_source_enum():
+    assert ContextSource("uncond") is ContextSource.UNCONDITIONAL
+    config = dataclasses.replace(LLBPConfig(), context_source=ContextSource.ALL)
+    assert config.context_source is ContextSource.ALL
+
+
+def test_cd_bits_positive():
+    assert LLBPConfig().cd_bits > 0

@@ -1,0 +1,75 @@
+"""Override arbitration policy, unit-tested with crafted state."""
+
+import dataclasses
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.predictor import LLBPTageScL
+
+
+def predictor_with_pattern(weak: bool, guard: bool = True):
+    """Install a pattern for the current context by hand."""
+    config = dataclasses.replace(
+        LLBPConfig(), simulate_timing=False, weak_override_guard=guard)
+    predictor = LLBPTageScL(config)
+    ccid = predictor.rcr.ccid
+    pattern_set, _ = predictor.directory.insert(ccid)
+    predictor.buffer.fill(ccid, pattern_set, predictor.directory)
+    tags = predictor.compute_slot_tags(0x400)
+    slot = pattern_set.allocate(hash_slot=10, tag=tags[10], taken=False)
+    if not weak:
+        for _ in range(4):
+            pattern_set.update_counter(slot, False)
+    return predictor
+
+
+def strengthen_tage(predictor, pc=0x400):
+    """Give TAGE a confident short-history provider for ``pc``."""
+    tage = predictor.tsl.tage
+    res = tage.lookup(pc)
+    table = 0
+    idx = res.indices[table]
+    tage.tags[table][idx] = res.tags[table]
+    tage._valid[table][idx] = True
+    tage.ctrs[table][idx] = 3  # strongly taken
+    tage.useful[table][idx] = 1
+
+
+def test_confident_pattern_overrides():
+    predictor = predictor_with_pattern(weak=False)
+    strengthen_tage(predictor)
+    meta = predictor.predict(0x400)
+    assert meta.slot >= 0
+    assert meta.overrode
+    assert meta.llbp_pred is False
+    assert meta.tsl.base_pred is False
+
+
+def test_weak_pattern_defers_to_confident_tage():
+    predictor = predictor_with_pattern(weak=True)
+    strengthen_tage(predictor)
+    meta = predictor.predict(0x400)
+    assert meta.slot >= 0
+    assert not meta.overrode          # the guard kicks in
+    assert meta.tsl.base_pred is True  # TAGE's direction survives
+
+
+def test_weak_pattern_overrides_without_guard():
+    predictor = predictor_with_pattern(weak=True, guard=False)
+    strengthen_tage(predictor)
+    meta = predictor.predict(0x400)
+    assert meta.overrode
+
+
+def test_weak_pattern_overrides_weak_tage():
+    """With no established TAGE provider the weak pattern still provides."""
+    predictor = predictor_with_pattern(weak=True)
+    meta = predictor.predict(0x400)
+    assert meta.overrode  # bimodal provider (rank 0) never blocks LLBP
+
+
+def test_longer_history_rank_wins():
+    predictor = predictor_with_pattern(weak=False)
+    strengthen_tage(predictor)
+    meta = predictor.predict(0x400)
+    # Hash slot 10 = length 161+ -> rank far above TAGE table 0's rank 1.
+    assert meta.llbp_rank > meta.tsl.tage.provider_length_rank

@@ -1,0 +1,122 @@
+"""Pattern buffer."""
+
+import dataclasses
+
+import pytest
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.pattern_buffer import PatternBuffer
+from repro.llbp.storage import ContextDirectory
+
+
+def tiny_config(**overrides):
+    defaults = dict(pb_entries=4, pb_ways=2)
+    defaults.update(overrides)
+    return dataclasses.replace(LLBPConfig(), **defaults)
+
+
+@pytest.fixture
+def setup():
+    config = tiny_config()
+    cd = ContextDirectory(config)
+    pb = PatternBuffer(config)
+    return config, cd, pb
+
+
+def test_geometry_validated():
+    with pytest.raises(ValueError):
+        PatternBuffer(tiny_config(pb_entries=5, pb_ways=2))
+
+
+def test_fill_and_get(setup):
+    _, cd, pb = setup
+    ps, _ = cd.insert(4)
+    pb.fill(4, ps, cd)
+    assert pb.get(4) is ps
+    assert pb.fills == 1
+    assert pb.hits == 1
+
+
+def test_miss_counted(setup):
+    _, cd, pb = setup
+    assert pb.get(9) is None
+    assert pb.misses == 1
+
+
+def test_duplicate_fill_ignored(setup):
+    _, cd, pb = setup
+    ps, _ = cd.insert(4)
+    pb.fill(4, ps, cd)
+    pb.fill(4, ps, cd)
+    assert pb.fills == 1
+
+
+def test_lru_eviction(setup):
+    _, cd, pb = setup
+    for cid in (0, 2, 4):  # all even -> same PB set (2 ways)
+        ps, _ = cd.insert(cid)
+        pb.fill(cid, ps, cd)
+    assert 0 not in pb
+    assert 2 in pb and 4 in pb
+
+
+def test_get_refreshes_lru(setup):
+    _, cd, pb = setup
+    for cid in (0, 2):
+        ps, _ = cd.insert(cid)
+        pb.fill(cid, ps, cd)
+    pb.get(0)
+    ps, _ = cd.insert(4)
+    pb.fill(4, ps, cd)
+    assert 0 in pb and 2 not in pb
+
+
+def test_dirty_eviction_counts_writeback(setup):
+    _, cd, pb = setup
+    ps0, _ = cd.insert(0)
+    ps0.allocate(hash_slot=1, tag=0x5, taken=True)  # dirty
+    pb.fill(0, ps0, cd)
+    for cid in (2, 4):
+        ps, _ = cd.insert(cid)
+        pb.fill(cid, ps, cd)
+    assert pb.writebacks == 1
+    assert not ps0.dirty  # cleared by the writeback
+
+
+def test_clean_eviction_no_writeback(setup):
+    _, cd, pb = setup
+    for cid in (0, 2, 4):
+        ps, _ = cd.insert(cid)
+        pb.fill(cid, ps, cd)
+    assert pb.writebacks == 0
+
+
+def test_writeback_dropped_for_dead_context(setup):
+    _, cd, pb = setup
+    ps0, _ = cd.insert(0)
+    ps0.allocate(hash_slot=1, tag=0x5, taken=True)
+    pb.fill(0, ps0, cd)
+    cd.remove(0)  # the directory evicted the context meanwhile
+    for cid in (2, 4):
+        ps, _ = cd.insert(cid)
+        pb.fill(cid, ps, cd)
+    assert pb.writebacks == 0
+
+
+def test_flush(setup):
+    _, cd, pb = setup
+    ps, _ = cd.insert(0)
+    ps.allocate(hash_slot=1, tag=0x5, taken=True)
+    pb.fill(0, ps, cd)
+    pb.flush(cd)
+    assert len(pb) == 0
+    assert pb.writebacks == 1
+
+
+def test_peek_does_not_count(setup):
+    _, cd, pb = setup
+    ps, _ = cd.insert(0)
+    pb.fill(0, ps, cd)
+    hits_before = pb.hits
+    assert pb.peek(0) is ps
+    assert pb.hits == hits_before

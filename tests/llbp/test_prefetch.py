@@ -1,0 +1,91 @@
+"""Prefetch engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.pattern_buffer import PatternBuffer
+from repro.llbp.prefetch import PrefetchEngine
+from repro.llbp.storage import ContextDirectory
+
+
+def make(latency_cycles=6, timing=True):
+    config = dataclasses.replace(
+        LLBPConfig(),
+        prefetch_latency_cycles=latency_cycles,
+        simulate_timing=timing,
+        pb_entries=8, pb_ways=2,
+    )
+    cd = ContextDirectory(config)
+    pb = PatternBuffer(config)
+    return config, cd, pb, PrefetchEngine(config, cd, pb)
+
+
+def test_directory_miss_does_not_issue():
+    _, cd, pb, engine = make()
+    engine.issue(5, now=0)
+    assert engine.issued == 0
+    assert engine.directory_misses == 1
+
+
+def test_latency_delays_delivery():
+    config, cd, pb, engine = make()
+    cd.insert(5)
+    engine.issue(5, now=100)
+    assert 5 not in pb
+    engine.drain(now=100 + engine.latency - 1)
+    assert 5 not in pb
+    engine.drain(now=100 + engine.latency)
+    assert 5 in pb
+
+
+def test_zero_latency_immediate():
+    _, cd, pb, engine = make(timing=False)
+    cd.insert(5)
+    engine.issue(5, now=0)
+    assert 5 in pb
+    assert engine.inflight_count() == 0
+
+
+def test_already_buffered_not_reissued():
+    _, cd, pb, engine = make()
+    ps, _ = cd.insert(5)
+    pb.fill(5, ps, cd)
+    engine.issue(5, now=0)
+    assert engine.issued == 0
+
+
+def test_squash_drops_inflight():
+    _, cd, pb, engine = make()
+    cd.insert(5)
+    cd.insert(6)
+    engine.issue(5, now=0)
+    engine.issue(6, now=0)
+    engine.squash()
+    assert engine.squashed == 2
+    engine.drain(now=10_000)
+    assert 5 not in pb and 6 not in pb
+
+
+def test_delivery_skips_contexts_evicted_meanwhile():
+    _, cd, pb, engine = make()
+    cd.insert(5)
+    engine.issue(5, now=0)
+    cd.remove(5)
+    engine.drain(now=10_000)
+    assert 5 not in pb
+
+
+def test_fifo_order_preserved():
+    _, cd, pb, engine = make()
+    for cid in (1, 2, 3):
+        cd.insert(cid)
+        engine.issue(cid, now=cid)
+    engine.drain(now=2 + engine.latency)
+    assert 1 in pb and 2 in pb and 3 not in pb
+
+
+def test_latency_in_instructions():
+    config, *_ = make(latency_cycles=6)
+    assert config.prefetch_latency_instructions == round(6 * config.instructions_per_cycle)

@@ -1,0 +1,92 @@
+"""Context directory + backing storage."""
+
+import dataclasses
+
+from repro.llbp.config import LLBPConfig
+from repro.llbp.storage import ContextDirectory
+
+
+def tiny_config(**overrides):
+    defaults = dict(cd_set_bits=1, cd_ways=2)
+    defaults.update(overrides)
+    return dataclasses.replace(LLBPConfig(), **defaults)
+
+
+def test_insert_and_lookup():
+    cd = ContextDirectory(tiny_config())
+    ps, evicted = cd.insert(4)
+    assert evicted is None
+    assert cd.lookup(4) is ps
+    assert 4 in cd
+
+
+def test_insert_existing_returns_same_set():
+    cd = ContextDirectory(tiny_config())
+    ps, _ = cd.insert(4)
+    again, evicted = cd.insert(4)
+    assert again is ps and evicted is None
+    assert cd.insertions == 1
+
+
+def test_lookup_miss():
+    cd = ContextDirectory(tiny_config())
+    assert cd.lookup(9) is None
+
+
+def test_eviction_when_set_full():
+    cd = ContextDirectory(tiny_config())
+    cd.insert(0)
+    cd.insert(2)   # same set (cid % 2 == 0)
+    _, evicted = cd.insert(4)
+    assert evicted in (0, 2)
+    assert len(cd) == 2
+    assert cd.evictions == 1
+
+
+def test_sets_are_independent():
+    cd = ContextDirectory(tiny_config())
+    cd.insert(0)
+    cd.insert(2)
+    cd.insert(1)   # odd set: no eviction
+    assert len(cd) == 3
+
+
+def test_confidence_replacement_prefers_weak_sets():
+    cd = ContextDirectory(tiny_config())
+    strong, _ = cd.insert(0)
+    weak, _ = cd.insert(2)
+    slot = strong.allocate(hash_slot=1, tag=0x5, taken=True)
+    for _ in range(5):
+        strong.update_counter(slot, True)
+    weak.allocate(hash_slot=1, tag=0x6, taken=True)  # stays weak
+    _, evicted = cd.insert(4)
+    assert evicted == 2  # the weak set goes
+
+
+def test_lru_replacement_mode():
+    cd = ContextDirectory(tiny_config(cd_replacement="lru"))
+    cd.insert(0)
+    cd.insert(2)
+    cd.lookup(0)  # touch 0 -> 2 is LRU
+    _, evicted = cd.insert(4)
+    assert evicted == 2
+
+
+def test_remove():
+    cd = ContextDirectory(tiny_config())
+    cd.insert(4)
+    cd.remove(4)
+    assert cd.lookup(4) is None
+    cd.remove(4)  # idempotent
+
+
+def test_occupancy():
+    cd = ContextDirectory(tiny_config())
+    assert cd.occupancy() == 0.0
+    cd.insert(0)
+    assert 0 < cd.occupancy() <= 1.0
+
+
+def test_default_capacity_is_scaled_14k():
+    cd = ContextDirectory(LLBPConfig())
+    assert cd.num_sets * cd.ways == 14336 // 4

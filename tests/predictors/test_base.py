@@ -1,0 +1,35 @@
+"""Predictor base-class contract."""
+
+import pytest
+
+from repro.predictors.base import BranchPredictor, PredictorStats
+
+
+def test_pred_of_bool():
+    assert BranchPredictor.pred_of(True) is True
+    assert BranchPredictor.pred_of(False) is False
+
+
+def test_pred_of_meta_object():
+    class Meta:
+        pred = True
+
+    assert BranchPredictor.pred_of(Meta()) is True
+
+
+def test_stats_bump():
+    stats = PredictorStats()
+    stats.bump("x")
+    stats.bump("x", 4)
+    assert stats.extra == {"x": 5}
+
+
+def test_abstract_methods_raise():
+    predictor = BranchPredictor()
+    with pytest.raises(NotImplementedError):
+        predictor.predict(0)
+    with pytest.raises(NotImplementedError):
+        predictor.train(0, True, None)
+    # History update and advance are optional no-ops.
+    predictor.update_history(0, 0, True, 0)
+    assert predictor.storage_bits() == 0

@@ -1,0 +1,110 @@
+"""BTB and ITTAGE indirect target predictor."""
+
+import pytest
+
+from repro.predictors.btb import BranchTargetBuffer
+from repro.predictors.indirect import IndirectPredictor, IttageConfig
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        assert btb.predict(0x100) == 0
+        btb.update(0x100, 0x500)
+        assert btb.predict(0x100) == 0x500
+        assert btb.misses == 1
+
+    def test_predict_and_update(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        assert not btb.predict_and_update(0x100, 0x500)  # cold miss
+        assert btb.predict_and_update(0x100, 0x500)      # now correct
+        assert not btb.predict_and_update(0x100, 0x600)  # target changed
+        assert btb.wrong_target == 1
+
+    def test_capacity_eviction(self):
+        btb = BranchTargetBuffer(entries=2, ways=1)
+        btb.update(0x0 << 2, 1)
+        btb.update(0x2 << 2, 2)  # same set as 0x0 in a 2-set, 1-way BTB
+        assert btb.predict(0x0 << 2) == 0  # evicted
+
+    def test_miss_rate(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        btb.predict(0x100)
+        btb.update(0x100, 1)
+        btb.predict(0x100)
+        assert btb.miss_rate == 0.5
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, ways=3)
+
+    def test_storage_bits(self):
+        assert BranchTargetBuffer(entries=16384, ways=8).storage_bits() > 0
+
+
+class TestIndirect:
+    def drive(self, predictor, pc, target, cond_noise=()):
+        res = predictor.predict(pc)
+        correct = predictor.train(pc, target, res)
+        predictor.update_history(pc, 4, True, target)
+        for i, taken in enumerate(cond_noise):
+            predictor.update_history(0x9000 + 4 * i, 0, taken, 0)
+        return correct
+
+    def test_learns_monomorphic_target(self):
+        predictor = IndirectPredictor()
+        hits = 0
+        for i in range(100):
+            if self.drive(predictor, 0x100, 0x4000):
+                hits += 1
+        assert hits > 90
+
+    def test_learns_history_correlated_targets(self):
+        """Target alternates with a preceding conditional outcome."""
+        predictor = IndirectPredictor()
+        correct_late = 0
+        for i in range(600):
+            which = i % 2 == 0
+            predictor.update_history(0x50, 0, which, 0)  # the correlated cond
+            target = 0x4000 if which else 0x8000
+            if self.drive(predictor, 0x100, target) and i > 300:
+                correct_late += 1
+        assert correct_late > 200  # far above the 50% a BTB would get
+
+    def test_base_table_fallback(self):
+        predictor = IndirectPredictor()
+        res = predictor.predict(0x100)
+        assert res.provider == -1
+        assert res.target == 0
+
+    def test_mispredictions_counted(self):
+        predictor = IndirectPredictor()
+        self.drive(predictor, 0x100, 0x4000)
+        assert predictor.mispredictions == 1
+        assert 0 <= predictor.misprediction_rate <= 1
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            IttageConfig(history_lengths=(5, 2))
+
+    def test_storage_bits(self):
+        assert IndirectPredictor().storage_bits() > 0
+
+
+class TestLLBPFrontendIntegration:
+    def test_frontend_flag_creates_components(self):
+        from repro.experiments.runner import resolve_predictor
+
+        plain = resolve_predictor("llbp")
+        assert plain.btb is None and plain.indirect is None
+        modelled = resolve_predictor("llbp:frontend")
+        assert modelled.btb is not None and modelled.indirect is not None
+
+    def test_frontend_flushes_counted(self, tiny_workload_trace):
+        from repro.experiments.runner import resolve_predictor
+        from repro.sim.engine import run_simulation
+
+        predictor = resolve_predictor("llbp:frontend")
+        result = run_simulation(tiny_workload_trace, predictor)
+        assert result.extra.get("btb_flushes", 0) >= 0
+        assert predictor.indirect.lookups > 0

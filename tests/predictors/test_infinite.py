@@ -1,0 +1,111 @@
+"""Infinite-capacity TAGE (the §II-C limit study substrate)."""
+
+from repro.predictors.infinite import InfiniteTage
+from repro.predictors.presets import tage_infinite, tsl_64k, tsl_infinite
+from repro.predictors.tage import Tage, TageConfig
+from repro.sim.engine import run_simulation
+
+
+def small_config(**overrides):
+    defaults = dict(
+        history_lengths=(4, 8, 16, 32, 64),
+        index_bits=6,
+        tag_bits=10,
+        bimodal_index_bits=10,
+    )
+    defaults.update(overrides)
+    return TageConfig(**defaults)
+
+
+def drive(predictor, pc, taken):
+    meta = predictor.predict(pc)
+    predictor.train(pc, taken, meta)
+    predictor.update_history(pc, 0, taken, 0)
+    return meta
+
+
+def test_allocation_never_fails():
+    predictor = InfiniteTage(small_config())
+    for i in range(500):
+        drive(predictor, 0x100 + 8 * (i % 50), i % 3 == 0)
+    assert predictor.num_patterns() > 0
+
+
+def test_no_capacity_evictions():
+    """Patterns only accumulate — nothing is ever evicted."""
+    predictor = InfiniteTage(small_config())
+    counts = []
+    for i in range(300):
+        drive(predictor, 0x100 + 8 * (i % 20), i % 2 == 0)
+        counts.append(predictor.num_patterns())
+    assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+
+def test_learns_fixed_direction():
+    predictor = InfiniteTage(small_config())
+    for _ in range(50):
+        drive(predictor, 0x100, True)
+    assert predictor.lookup(0x100).pred is True
+
+
+def test_per_pc_tagging_prevents_aliasing():
+    """Two PCs with colliding (index, tag) stay separate entries."""
+    predictor = InfiniteTage(small_config(index_bits=1, tag_bits=2))
+    for i in range(200):
+        drive(predictor, 0x100, True)
+        drive(predictor, 0x104, False)
+    assert predictor.lookup(0x100).pred is True
+    assert predictor.lookup(0x104).pred is False
+
+
+def test_useful_tracing_disabled_by_default():
+    predictor = InfiniteTage(small_config())
+    for i in range(300):
+        drive(predictor, 0x100, i % 2 == 0)
+    assert predictor.useful_patterns == {}
+
+
+def test_useful_tracing_records_patterns():
+    predictor = InfiniteTage(small_config())
+    predictor.trace_useful = True
+    for i in range(600):
+        drive(predictor, 0x100, i % 2 == 0)
+    counts = predictor.useful_pattern_counts()
+    assert counts.get(0x100, 0) >= 1
+
+
+def test_useful_callback_invoked():
+    predictor = InfiniteTage(small_config())
+    predictor.trace_useful = True
+    events = []
+    predictor.useful_callback = lambda pc, key: events.append((pc, key))
+    for i in range(600):
+        drive(predictor, 0x100, i % 2 == 0)
+    assert events
+    assert all(pc == 0x100 for pc, _ in events)
+    table, idx, tag, pc = events[0][1]
+    assert 0 <= table < 5
+
+
+def test_inf_beats_finite_under_pressure(tiny_workload_trace):
+    finite = Tage(small_config(index_bits=4, bimodal_index_bits=8))
+    infinite = InfiniteTage(small_config(index_bits=4, bimodal_index_bits=8))
+    r_fin = run_simulation(tiny_workload_trace, finite)
+    r_inf = run_simulation(tiny_workload_trace, infinite)
+    assert r_inf.mpki < r_fin.mpki
+
+
+def test_presets_compose(tiny_workload_trace):
+    base = run_simulation(tiny_workload_trace, tsl_64k())
+    inf_tage = run_simulation(tiny_workload_trace, tage_infinite())
+    inf_tsl = run_simulation(tiny_workload_trace, tsl_infinite())
+    assert inf_tage.mpki <= base.mpki * 1.05
+    assert inf_tsl.mpki <= base.mpki * 1.05
+
+
+def test_storage_bits_grows_with_patterns():
+    predictor = InfiniteTage(small_config())
+    empty = predictor.storage_bits()
+    for i in range(200):
+        drive(predictor, 0x100 + 8 * i, i % 2 == 0)
+    assert predictor.storage_bits() > empty

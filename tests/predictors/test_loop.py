@@ -1,0 +1,79 @@
+"""Loop predictor."""
+
+from repro.predictors.loop import LoopPredictor
+
+
+def drive_loop(predictor, pc, trips, iterations, tage_mispredicts=True):
+    """Run `iterations` executions of a `trips`-trip loop."""
+    for _ in range(iterations):
+        for i in range(trips):
+            taken = i + 1 < trips
+            res = predictor.lookup(pc)
+            predictor.update(pc, taken, res, tage_mispredicted=tage_mispredicts)
+
+
+def test_learns_fixed_trip_count():
+    predictor = LoopPredictor(seed=3)
+    drive_loop(predictor, 0x100, trips=5, iterations=40)
+    # Now it should predict the whole loop body correctly.
+    correct = 0
+    for i in range(5):
+        taken = i + 1 < 5
+        res = predictor.lookup(0x100)
+        if res.valid and res.pred == taken:
+            correct += 1
+        predictor.update(0x100, taken, res, tage_mispredicted=False)
+    assert correct == 5
+
+
+def test_irregular_loop_loses_confidence():
+    predictor = LoopPredictor(seed=3)
+    drive_loop(predictor, 0x100, trips=5, iterations=30)
+    # Change the trip count: confidence must reset.
+    drive_loop(predictor, 0x100, trips=3, iterations=1, tage_mispredicts=False)
+    res = predictor.lookup(0x100)
+    assert not res.valid or res.pred in (True, False)  # not confidently wrong
+    # After the change it re-allocates (TAGE mispredicting the exits) and
+    # retrains on the new count.
+    drive_loop(predictor, 0x100, trips=3, iterations=60, tage_mispredicts=True)
+    res = predictor.lookup(0x100)
+    assert res.valid
+
+
+def test_no_allocation_without_tage_mispredict():
+    predictor = LoopPredictor(seed=3)
+    drive_loop(predictor, 0x100, trips=4, iterations=30, tage_mispredicts=False)
+    assert not predictor.lookup(0x100).hit
+
+
+def test_withloop_counter():
+    predictor = LoopPredictor()
+    assert not predictor.use_loop  # starts distrusting
+    for _ in range(3):
+        predictor.train_withloop(loop_pred=True, tage_pred=False, taken=True)
+    assert predictor.use_loop
+    for _ in range(6):
+        predictor.train_withloop(loop_pred=True, tage_pred=False, taken=False)
+    assert not predictor.use_loop
+
+
+def test_withloop_ignores_agreement():
+    predictor = LoopPredictor()
+    before = predictor.withloop
+    predictor.train_withloop(loop_pred=True, tage_pred=True, taken=True)
+    assert predictor.withloop == before
+
+
+def test_storage_bits_positive():
+    assert LoopPredictor().storage_bits() > 0
+
+
+def test_confident_mispredict_evicts_entry():
+    predictor = LoopPredictor(seed=3)
+    drive_loop(predictor, 0x100, trips=5, iterations=40)
+    res = predictor.lookup(0x100)
+    assert res.valid
+    # Feed an outcome that contradicts the confident prediction.
+    predictor.update(0x100, not res.pred, res, tage_mispredicted=False)
+    res2 = predictor.lookup(0x100)
+    assert not res2.valid

@@ -1,0 +1,45 @@
+"""Perfect predictor and the preset catalogue."""
+
+import pytest
+
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.presets import (
+    LLBP_HISTORY_LENGTHS,
+    TAGE_HISTORY_LENGTHS,
+    tsl_64k,
+    tsl_scaled,
+)
+from repro.sim.engine import run_simulation
+
+
+def test_perfect_never_mispredicts(tiny_workload_trace):
+    result = run_simulation(tiny_workload_trace, PerfectPredictor())
+    assert result.mispredictions == 0
+    assert result.mpki == 0.0
+
+
+def test_llbp_lengths_subset_of_tage():
+    assert set(LLBP_HISTORY_LENGTHS) <= set(TAGE_HISTORY_LENGTHS)
+
+
+def test_tage_ladder_has_21_lengths():
+    assert len(TAGE_HISTORY_LENGTHS) == 21
+    assert TAGE_HISTORY_LENGTHS[-1] == 3000
+
+
+def test_scaling_grows_tables():
+    base = tsl_64k()
+    scaled = tsl_scaled(8)
+    assert scaled.tage._size == base.tage._size * 8
+    assert scaled.config.name == "512K TSL"
+
+
+def test_scale_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        tsl_scaled(3)
+
+
+def test_scaled_capacity_helps(tiny_workload_trace):
+    base = run_simulation(tiny_workload_trace, tsl_64k())
+    big = run_simulation(tiny_workload_trace, tsl_scaled(8))
+    assert big.mpki <= base.mpki

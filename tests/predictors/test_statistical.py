@@ -1,0 +1,81 @@
+"""Statistical corrector."""
+
+from repro.predictors.statistical import StatisticalCorrector
+
+
+def test_agrees_with_confident_tage_by_default():
+    sc = StatisticalCorrector()
+    res = sc.lookup(0x100, base_pred=True, provider_ctr=3, provider_valid=True)
+    assert not res.use  # no reason to flip an untrained corrector
+
+
+def test_learns_statistical_bias():
+    """TAGE keeps predicting taken; the branch is mostly not-taken."""
+    sc = StatisticalCorrector()
+    flipped = 0
+    for i in range(2000):
+        taken = i % 10 == 0  # 10% taken
+        res = sc.lookup(0x100, base_pred=True, provider_ctr=0, provider_valid=True)
+        if res.use and res.pred is False:
+            flipped += 1
+        sc.train(0x100, taken, res)
+        sc.push_outcome(taken)
+    assert flipped > 500  # the corrector takes over
+
+
+def test_counters_saturate():
+    sc = StatisticalCorrector(history_lengths=(3,), index_bits=4)
+    for _ in range(200):
+        res = sc.lookup(0x0, base_pred=False, provider_ctr=0, provider_valid=False)
+        sc.train(0x0, True, res)
+    assert all(v <= sc.CTR_HI for table in sc.tables for v in table)
+    assert all(v <= sc.CTR_HI for v in sc.bias_table)
+
+
+def test_threshold_adapts_up_on_bad_flips():
+    """Feed synthetic always-wrong disagreements: θ must rise at the ±64
+    crossing of the adaptation counter."""
+    from repro.predictors.statistical import ScResult
+
+    sc = StatisticalCorrector()
+    start = sc.threshold
+    for _ in range(65):
+        res = ScResult(sum=40, pred=True, use=True, base_pred=False,
+                       indices=(0,) * len(sc.history_lengths), bias_index=0)
+        sc.train(0x40, False, res)  # the flip was wrong every time
+    assert sc.threshold == start + 1
+
+
+def test_threshold_adapts_down_on_good_flips():
+    from repro.predictors.statistical import ScResult
+
+    sc = StatisticalCorrector()
+    start = sc.threshold
+    for _ in range(65):
+        res = ScResult(sum=40, pred=True, use=True, base_pred=False,
+                       indices=(0,) * len(sc.history_lengths), bias_index=0)
+        sc.train(0x40, True, res)  # the flip was right every time
+    assert sc.threshold == start - 1
+
+
+def test_history_window():
+    sc = StatisticalCorrector()
+    for _ in range(70):
+        sc.push_outcome(True)
+    assert sc.history < (1 << 64)
+
+
+def test_override_stats_tracked():
+    sc = StatisticalCorrector()
+    for i in range(2000):
+        taken = i % 10 == 0
+        res = sc.lookup(0x100, base_pred=True, provider_ctr=0, provider_valid=True)
+        sc.train(0x100, taken, res)
+        sc.push_outcome(taken)
+    assert sc.overrides > 0
+    assert sc.good_overrides >= 0.6 * sc.overrides
+
+
+def test_storage_bits():
+    sc = StatisticalCorrector(history_lengths=(3, 6), index_bits=4)
+    assert sc.storage_bits() == 3 * 16 * 6

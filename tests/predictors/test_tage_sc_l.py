@@ -1,0 +1,100 @@
+"""Composed TAGE-SC-L."""
+
+import pytest
+
+from repro.predictors.presets import tage_config_64k
+from repro.predictors.tage_sc_l import TageScL, TslConfig
+from repro.sim.engine import run_simulation
+
+
+def small_tsl(use_sc=True, use_loop=True):
+    from repro.predictors.tage import TageConfig
+
+    config = TslConfig(
+        tage=TageConfig(history_lengths=(4, 8, 16, 32), index_bits=7,
+                        tag_bits=9, bimodal_index_bits=9),
+        sc_index_bits=7,
+        use_sc=use_sc,
+        use_loop=use_loop,
+    )
+    return TageScL(config)
+
+
+def drive(predictor, pc, taken, branch_type=0):
+    meta = predictor.predict(pc)
+    predictor.train(pc, taken, meta)
+    predictor.update_history(pc, branch_type, taken, 0)
+    return meta
+
+
+def test_components_optional():
+    assert small_tsl(use_sc=False).sc is None
+    assert small_tsl(use_loop=False).loop is None
+    full = small_tsl()
+    assert full.sc is not None and full.loop is not None
+
+
+def test_learns_simple_bias():
+    predictor = small_tsl()
+    for _ in range(100):
+        drive(predictor, 0x100, True)
+    assert predictor.lookup(0x100).pred is True
+
+
+def test_base_override_replaces_tage_pred():
+    predictor = small_tsl(use_sc=False, use_loop=False)
+    for _ in range(50):
+        drive(predictor, 0x100, True)
+    natural = predictor.lookup(0x100)
+    assert natural.pred is True
+    overridden = predictor.lookup(0x100, base_override=(False, -3))
+    assert overridden.pred is False
+    assert overridden.base_overridden
+
+
+def test_lookup_accepts_precomputed_tage_result():
+    predictor = small_tsl()
+    tage_res = predictor.tage.lookup(0x100)
+    res = predictor.lookup(0x100, tage_res=tage_res)
+    assert res.tage is tage_res
+
+
+def test_suppress_tage_provider_keeps_counter():
+    predictor = small_tsl(use_sc=False, use_loop=False)
+    for _ in range(200):
+        drive(predictor, 0x100, True)
+    res = predictor.lookup(0x100)
+    if res.tage.provider >= 0:
+        idx = res.tage.indices[res.tage.provider]
+        before = predictor.tage.ctrs[res.tage.provider][idx]
+        tsl_res = predictor.lookup(0x100)
+        predictor.train(0x100, False, tsl_res, suppress_tage_provider=True,
+                        suppress_tage_alloc=True)
+        after = predictor.tage.ctrs[res.tage.provider][idx]
+        assert after == before
+
+
+def test_storage_bits_accumulates_components():
+    full = small_tsl()
+    bare = small_tsl(use_sc=False, use_loop=False)
+    assert full.storage_bits() > bare.storage_bits()
+
+
+def test_64k_preset_storage_in_range():
+    from repro.predictors.presets import tsl_64k
+
+    predictor = tsl_64k()
+    kib = predictor.storage_bits() / 8 / 1024
+    # The 64K-class baseline scaled by CAPACITY_SCALE=4: ~12-20 KiB.
+    assert 8 < kib < 24
+
+
+def test_mpki_reasonable_on_workload(tiny_workload_trace):
+    result = run_simulation(tiny_workload_trace, small_tsl())
+    assert result.accuracy > 0.85
+
+
+def test_sc_and_loop_help_or_do_not_hurt_much(tiny_workload_trace):
+    full = run_simulation(tiny_workload_trace, small_tsl())
+    bare = run_simulation(tiny_workload_trace, small_tsl(use_sc=False, use_loop=False))
+    assert full.mpki <= bare.mpki * 1.15

@@ -1,0 +1,63 @@
+"""Analytic core model."""
+
+import pytest
+
+from repro.sim.core import CoreModel, CoreParams
+from repro.sim.results import SimulationResult
+
+
+def result(instructions=1_000_000, mispredictions=2910):
+    return SimulationResult(
+        workload="w", predictor="p",
+        instructions=instructions, warmup_instructions=0,
+        branches=0, cond_branches=0, mispredictions=mispredictions,
+    )
+
+
+def test_paper_calibration_point():
+    """~2.9 MPKI must waste ~9% of cycles (Fig 1's average)."""
+    model = CoreModel()
+    timing = model.timing(result())
+    assert 0.07 < timing.wasted_fraction < 0.12
+
+
+def test_zero_mispredicts_zero_waste():
+    timing = CoreModel().timing(result(mispredictions=0))
+    assert timing.wasted_fraction == 0.0
+    assert timing.cpi == CoreParams().base_cpi
+
+
+def test_speedup_direction():
+    model = CoreModel()
+    slow = model.timing(result(mispredictions=5000))
+    fast = model.timing(result(mispredictions=1000))
+    assert fast.speedup_over(slow) > 1.0
+    assert slow.speedup_over(fast) < 1.0
+
+
+def test_speedup_identity():
+    model = CoreModel()
+    t = model.timing(result())
+    assert t.speedup_over(t) == pytest.approx(1.0)
+
+
+def test_wasted_fraction_from_mpki_matches_timing():
+    model = CoreModel()
+    timing = model.timing(result(instructions=1_000_000, mispredictions=2910))
+    assert model.wasted_fraction_from_mpki(2.91) == pytest.approx(
+        timing.wasted_fraction, rel=1e-6)
+
+
+def test_counts_validated():
+    with pytest.raises(ValueError):
+        CoreModel().timing_from_counts(-1, 0)
+
+
+def test_ipc_cpi_inverse():
+    timing = CoreModel().timing(result())
+    assert timing.ipc == pytest.approx(1.0 / timing.cpi)
+
+
+def test_core_params_describe():
+    text = CoreParams().describe()
+    assert "6-way" in text and "512 ROB" in text

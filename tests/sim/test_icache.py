@@ -1,0 +1,83 @@
+"""L1-I model."""
+
+from repro.sim.icache import InstructionCache, simulate_icache
+from repro.traces.trace import TraceBuilder
+from repro.traces.types import BranchType
+
+
+def test_cold_miss_and_next_line_prefetch():
+    cache = InstructionCache(size_kib=1, ways=2, line_bytes=64)
+    cache.fetch_line(10)
+    assert cache.demand_misses == 1
+    assert cache.prefetch_fills == 1  # line 11 prefetched
+    cache.fetch_line(11)
+    assert cache.demand_misses == 1  # prefetch hit
+
+
+def test_hit_after_fill():
+    cache = InstructionCache(size_kib=1, ways=2)
+    cache.fetch_line(5)
+    misses = cache.demand_misses
+    cache.fetch_line(5)
+    assert cache.demand_misses == misses
+
+
+def test_fetch_range_touches_all_lines():
+    cache = InstructionCache(size_kib=1, ways=2, line_bytes=64)
+    cache.fetch_range(0, 200)  # lines 0..3
+    assert cache.demand_misses + cache.prefetch_fills >= 4
+
+
+def test_capacity_eviction():
+    cache = InstructionCache(size_kib=1, ways=1, line_bytes=64)  # 16 lines
+    for line in range(0, 64, 16):  # all map to set 0
+        cache.fetch_line(line)
+    cache.fetch_line(0)
+    assert cache.demand_misses >= 4
+
+
+def test_miss_traffic_bits():
+    cache = InstructionCache()
+    cache.fetch_line(1)
+    assert cache.miss_traffic_bits == (cache.demand_misses + cache.prefetch_fills) * 512
+
+
+def test_invalid_geometry():
+    import pytest
+
+    with pytest.raises(ValueError):
+        InstructionCache(size_kib=0)
+
+
+def make_trace(span=200_000):
+    """A trace striding through a large code footprint."""
+    builder = TraceBuilder("ic")
+    pc = 0x10000
+    for i in range(2000):
+        pc = 0x10000 + (i * 1024) % span
+        builder.append(pc, BranchType.JUMP, True, pc + 64, 8)
+    return builder.build()
+
+
+def test_simulate_icache_reports_traffic():
+    result = simulate_icache(make_trace())
+    assert result.instructions > 0
+    assert result.demand_misses > 0
+    assert result.bits_per_instruction > 0
+
+
+def test_small_footprint_fits():
+    builder = TraceBuilder("tiny")
+    for i in range(2000):
+        builder.append(0x100, BranchType.JUMP, True, 0x140, 4)
+    big = simulate_icache(make_trace())
+    small = simulate_icache(builder.build())
+    assert small.mpki < big.mpki
+
+
+def test_warmup_excluded():
+    trace = make_trace()
+    full = simulate_icache(trace)
+    late = simulate_icache(trace, warmup_instructions=trace.num_instructions // 2)
+    assert late.instructions < full.instructions
+    assert late.demand_misses <= full.demand_misses

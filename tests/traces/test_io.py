@@ -1,0 +1,55 @@
+"""Trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.trace import TraceBuilder
+from repro.traces.types import BranchType
+
+
+def make_trace(n=50):
+    builder = TraceBuilder("io-test")
+    for i in range(n):
+        bt = BranchType.COND if i % 3 else BranchType.CALL
+        builder.append(0x1000 + 4 * i, bt, True, 0x2000 + i, 1 + i % 5)
+    return builder.build()
+
+
+def test_roundtrip(tmp_path):
+    trace = make_trace()
+    path = tmp_path / "t.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert len(loaded) == len(trace)
+    assert np.array_equal(loaded.pcs, trace.pcs)
+    assert np.array_equal(loaded.types, trace.types)
+    assert np.array_equal(loaded.takens, trace.takens)
+    assert np.array_equal(loaded.targets, trace.targets)
+    assert np.array_equal(loaded.gaps, trace.gaps)
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = tmp_path / "a" / "b" / "t.npz"
+    save_trace(make_trace(5), path)
+    assert path.exists()
+
+
+def test_no_tmp_file_left_behind(tmp_path):
+    path = tmp_path / "t.npz"
+    save_trace(make_trace(5), path)
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_bad_version_rejected(tmp_path):
+    path = tmp_path / "t.npz"
+    trace = make_trace(5)
+    with open(path, "wb") as fh:
+        np.savez_compressed(
+            fh, version=np.array([99]), name=np.array(["x"]),
+            pcs=trace.pcs, types=trace.types, takens=trace.takens,
+            targets=trace.targets, gaps=trace.gaps,
+        )
+    with pytest.raises(ValueError):
+        load_trace(path)

@@ -1,0 +1,56 @@
+"""Trace statistics."""
+
+from repro.traces.stats import compute_stats
+from repro.traces.trace import TraceBuilder
+from repro.traces.types import BranchType
+
+
+def make_trace():
+    builder = TraceBuilder("stats")
+    # 6 conditionals (4 taken), 1 call, 1 ret, 1 jump, 1 indirect call.
+    for i in range(6):
+        builder.append(0x100 + 4 * (i % 2), BranchType.COND, i < 4, 0x200, 2)
+    builder.append(0x300, BranchType.CALL, True, 0x400, 3)
+    builder.append(0x400, BranchType.RET, True, 0x304, 1)
+    builder.append(0x310, BranchType.JUMP, True, 0x320, 2)
+    builder.append(0x320, BranchType.IND_CALL, True, 0x500, 2)
+    return builder.build()
+
+
+def test_counts():
+    stats = compute_stats(make_trace())
+    assert stats.num_branches == 10
+    assert stats.num_conditional == 6
+    assert stats.num_unconditional == 4
+    assert stats.num_calls == 2       # direct + indirect
+    assert stats.num_returns == 1
+    assert stats.num_indirect == 1
+    assert stats.num_instructions == 6 * 2 + 3 + 1 + 2 + 2
+
+
+def test_ratios():
+    stats = compute_stats(make_trace())
+    assert stats.cond_per_uncond == 6 / 4
+    assert stats.uncond_fraction == 0.4
+    assert stats.call_ret_fraction == 0.3
+    assert abs(stats.taken_rate - 4 / 6) < 1e-12
+    assert stats.branches_per_instruction == 10 / 20
+
+
+def test_unique_pcs():
+    stats = compute_stats(make_trace())
+    assert stats.unique_conditional_pcs == 2
+    assert stats.unique_pcs == 6
+
+
+def test_per_type_table():
+    stats = compute_stats(make_trace())
+    assert stats.per_type[BranchType.COND] == 6
+    assert stats.per_type[BranchType.IND_JUMP] == 0
+
+
+def test_empty_uncond_inf_ratio():
+    builder = TraceBuilder()
+    builder.append(0, BranchType.COND, True, 0, 1)
+    stats = compute_stats(builder.build())
+    assert stats.cond_per_uncond == float("inf")

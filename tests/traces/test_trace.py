@@ -1,0 +1,108 @@
+"""Trace container and builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.trace import Trace, TraceBuilder
+from repro.traces.types import BranchRecord, BranchType
+
+record_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2**40),        # pc
+    st.sampled_from(list(BranchType)),                # type
+    st.booleans(),                                    # taken (cond only)
+    st.integers(min_value=0, max_value=2**40),        # target
+    st.integers(min_value=1, max_value=30),           # gap
+)
+
+
+def build(records):
+    builder = TraceBuilder("t")
+    for pc, bt, taken, target, gap in records:
+        if bt != BranchType.COND:
+            taken = True
+        builder.append(pc, bt, taken, target, gap)
+    return builder.build()
+
+
+def test_builder_roundtrip():
+    trace = build([(0x10, BranchType.COND, True, 0x20, 2),
+                   (0x30, BranchType.CALL, True, 0x40, 5)])
+    assert len(trace) == 2
+    rec = trace.record(0)
+    assert rec == BranchRecord(0x10, BranchType.COND, True, 0x20, 2)
+    assert trace.record(1).branch_type == BranchType.CALL
+
+
+def test_num_instructions_is_gap_sum():
+    trace = build([(0, BranchType.COND, True, 0, 3),
+                   (4, BranchType.COND, False, 0, 7)])
+    assert trace.num_instructions == 10
+
+
+def test_num_conditional():
+    trace = build([(0, BranchType.COND, True, 0, 1),
+                   (4, BranchType.JUMP, True, 8, 1),
+                   (8, BranchType.COND, False, 0, 1)])
+    assert trace.num_conditional == 2
+
+
+def test_iter_tuples_matches_records():
+    records = [(0x10, BranchType.COND, False, 0x20, 2),
+               (0x30, BranchType.RET, True, 0x40, 4)]
+    trace = build(records)
+    out = list(trace.iter_tuples())
+    assert out[0] == (0x10, 0, 0, 0x20, 2)
+    assert out[1] == (0x30, 3, 1, 0x40, 4)
+
+
+def test_slice():
+    trace = build([(i * 4, BranchType.COND, True, 0, 1) for i in range(10)])
+    sub = trace.slice(2, 5)
+    assert len(sub) == 3
+    assert sub.record(0).pc == 8
+
+
+def test_truncate_to_instructions():
+    trace = build([(i, BranchType.COND, True, 0, 5) for i in range(10)])
+    sub = trace.truncate_to_instructions(12)
+    assert len(sub) == 2
+    assert sub.num_instructions == 10
+
+
+def test_truncate_longer_than_trace():
+    trace = build([(0, BranchType.COND, True, 0, 5)])
+    assert len(trace.truncate_to_instructions(1000)) == 1
+
+
+def test_mismatched_arrays_rejected():
+    with pytest.raises(ValueError):
+        Trace(np.zeros(2), np.zeros(1), np.zeros(2), np.zeros(2), np.ones(2))
+
+
+def test_builder_rejects_bad_gap():
+    builder = TraceBuilder()
+    with pytest.raises(ValueError):
+        builder.append(0, BranchType.COND, True, 0, 0)
+
+
+def test_append_record():
+    builder = TraceBuilder()
+    builder.append_record(BranchRecord(0x10, BranchType.COND, True, 0, 2))
+    trace = builder.build()
+    assert trace.record(0).pc == 0x10
+
+
+@given(st.lists(record_strategy, min_size=1, max_size=60))
+@settings(max_examples=40)
+def test_roundtrip_property(records):
+    trace = build(records)
+    assert len(trace) == len(records)
+    assert trace.num_instructions == sum(r[4] for r in records)
+    for i, (pc, bt, taken, target, gap) in enumerate(records):
+        rec = trace.record(i)
+        assert rec.pc == pc
+        assert rec.branch_type == bt
+        assert rec.target == target
+        assert rec.instr_gap == gap

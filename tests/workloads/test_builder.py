@@ -1,0 +1,123 @@
+"""Synthetic program builder."""
+
+import pytest
+
+from repro.workloads.behaviors import ContextCorrelatedBehavior
+from repro.workloads.builder import WorkloadSpec, build_program
+from repro.workloads.program import CallStmt, CondStmt, IfStmt
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="t", seed=3,
+        num_handlers=3, num_services=8, num_leaves=16,
+        num_complex=8,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def collect_stmts(program, kind):
+    found = []
+
+    def walk(body):
+        for stmt in body:
+            if isinstance(stmt, kind):
+                found.append(stmt)
+            inner = getattr(stmt, "body", None)
+            if inner is not None:
+                walk(inner)
+
+    for fn in program.functions:
+        walk(fn.body)
+    return found
+
+
+class TestSpecValidation:
+    def test_bad_stmt_range(self):
+        with pytest.raises(ValueError):
+            small_spec(min_stmts=1)
+        with pytest.raises(ValueError):
+            small_spec(min_stmts=8, max_stmts=4)
+
+    def test_tiers_required(self):
+        with pytest.raises(ValueError):
+            small_spec(num_handlers=0)
+
+    def test_weights_required(self):
+        with pytest.raises(ValueError):
+            small_spec(behavior_weights={})
+
+    def test_num_functions(self):
+        assert small_spec().num_functions == 1 + 3 + 8 + 16
+
+
+class TestBuild:
+    def test_deterministic(self):
+        a = build_program(small_spec())
+        b = build_program(small_spec())
+        assert len(a.functions) == len(b.functions)
+        assert a.num_static_branches == b.num_static_branches
+        assert [f.entry for f in a.functions] == [f.entry for f in b.functions]
+
+    def test_seed_changes_program(self):
+        a = build_program(small_spec(seed=1))
+        b = build_program(small_spec(seed=2))
+        assert a.num_static_branches != b.num_static_branches or (
+            [f.entry for f in a.functions] != [f.entry for f in b.functions]
+        )
+
+    def test_complex_budget_placed_in_hot_leaves(self):
+        spec = small_spec()
+        program = build_program(spec)
+        complex_stmts = [
+            s for s in collect_stmts(program, (CondStmt, IfStmt))
+            if isinstance(s.behavior, ContextCorrelatedBehavior)
+        ]
+        assert len(complex_stmts) >= spec.num_complex * 0.8
+        # All complex branches live in leaf-tier functions.
+        leaf_lo = program.function(1 + spec.num_handlers + spec.num_services).entry
+        assert all(s.pc >= leaf_lo for s in complex_stmts)
+
+    def test_entry_dispatches_to_handlers(self):
+        spec = small_spec()
+        program = build_program(spec)
+        entry_calls = [s for s in program.function(0).body if isinstance(s, CallStmt)]
+        assert len(entry_calls) == 1
+        assert set(entry_calls[0].callees) == set(range(1, 1 + spec.num_handlers))
+
+    def test_handlers_call_services_only(self):
+        spec = small_spec()
+        program = build_program(spec)
+        service_range = range(1 + spec.num_handlers,
+                              1 + spec.num_handlers + spec.num_services)
+        for hid in range(1, 1 + spec.num_handlers):
+            for call in collect_stmts_in(program.function(hid).body, CallStmt):
+                assert all(c in service_range for c in call.callees)
+
+    def test_leaves_make_no_calls(self):
+        spec = small_spec()
+        program = build_program(spec)
+        leaf_start = 1 + spec.num_handlers + spec.num_services
+        for fid in range(leaf_start, spec.num_functions):
+            assert not collect_stmts_in(program.function(fid).body, CallStmt)
+
+    def test_branch_working_set_scales_with_functions(self):
+        small = build_program(small_spec())
+        large = build_program(small_spec(num_leaves=64, num_services=24))
+        assert large.num_static_branches > small.num_static_branches
+
+
+def collect_stmts_in(body, kind):
+    found = []
+
+    def walk(b):
+        for stmt in b:
+            if isinstance(stmt, kind):
+                found.append(stmt)
+            inner = getattr(stmt, "body", None)
+            if inner is not None:
+                walk(inner)
+
+    walk(body)
+    return found

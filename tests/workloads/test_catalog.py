@@ -1,0 +1,60 @@
+"""Workload catalog and trace caching."""
+
+import pytest
+
+from repro.traces.stats import compute_stats
+from repro.workloads.catalog import (
+    WORKLOADS,
+    generate_workload,
+    get_spec,
+    workload_names,
+)
+
+PAPER_WORKLOADS = [
+    "NodeApp", "PHPWiki", "TPCC", "Twitter", "Wikipedia", "Kafka", "Spring",
+    "Tomcat", "Chirper", "HTTP", "Charlie", "Delta", "Merced", "Whiskey",
+]
+
+
+def test_all_fourteen_paper_workloads_present():
+    assert workload_names() == PAPER_WORKLOADS
+
+
+def test_specs_have_unique_seeds():
+    seeds = [spec.seed for spec in WORKLOADS.values()]
+    assert len(seeds) == len(set(seeds))
+
+
+def test_get_spec_unknown():
+    with pytest.raises(KeyError):
+        get_spec("nope")
+
+
+def test_generate_without_cache():
+    trace = generate_workload("Kafka", 30_000, use_cache=False)
+    assert trace.name == "Kafka"
+    assert trace.num_instructions >= 30_000
+
+
+def test_cache_roundtrip(tmp_path):
+    first = generate_workload("Kafka", 30_000, cache_dir=tmp_path)
+    assert any(tmp_path.iterdir())
+    second = generate_workload("Kafka", 30_000, cache_dir=tmp_path)
+    assert list(first.pcs) == list(second.pcs)
+    assert list(first.takens) == list(second.takens)
+
+
+def test_trace_shape_is_server_like():
+    """The catalog must produce the branch mix §IV measures."""
+    stats = compute_stats(generate_workload("Tomcat", 60_000, use_cache=False))
+    assert 2.0 < stats.cond_per_uncond < 8.0        # paper: ~3.89
+    assert 0.10 < stats.uncond_fraction < 0.35      # paper: ~20%
+    assert stats.branches_per_instruction < 0.35
+    assert stats.unique_conditional_pcs > 300       # large working set
+
+
+def test_workloads_differ():
+    a = generate_workload("Kafka", 30_000, use_cache=False)
+    b = generate_workload("Tomcat", 30_000, use_cache=False)
+    sa, sb = compute_stats(a), compute_stats(b)
+    assert sa.unique_conditional_pcs != sb.unique_conditional_pcs

@@ -1,0 +1,142 @@
+"""Program model and address layout."""
+
+import pytest
+
+from repro.workloads.behaviors import BiasedBehavior, LoopTripBehavior
+from repro.workloads.program import (
+    INSTR_BYTES,
+    CallStmt,
+    ComputeStmt,
+    CondStmt,
+    Function,
+    IfStmt,
+    JumpStmt,
+    LoopStmt,
+    Program,
+    assign_branch_ids,
+)
+
+
+def behavior():
+    return BiasedBehavior(0.5)
+
+
+def make_program():
+    body0 = [
+        ComputeStmt(3),
+        CondStmt(behavior()),
+        IfStmt(behavior(), [ComputeStmt(2), CondStmt(behavior())]),
+        CallStmt([1]),
+        LoopStmt(LoopTripBehavior(2), [ComputeStmt(1)]),
+        JumpStmt(),
+    ]
+    body1 = [CondStmt(behavior())]
+    return Program([Function(0, body0), Function(1, body1)], entry_function=0)
+
+
+class TestStatements:
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            ComputeStmt(0)
+
+    def test_call_validation(self):
+        with pytest.raises(ValueError):
+            CallStmt([])
+        with pytest.raises(ValueError):
+            CallStmt([1, 2], weights=[1])
+
+    def test_call_indirect(self):
+        assert CallStmt([1, 2]).is_indirect
+        assert not CallStmt([1]).is_indirect
+
+
+class TestLayout:
+    def test_addresses_assigned(self):
+        program = make_program()
+        fn = program.function(0)
+        cond = fn.body[1]
+        assert cond.pc == fn.entry + 3 * INSTR_BYTES
+        # bare cond: taken target skips one instruction
+        assert cond.target == cond.pc + 2 * INSTR_BYTES
+
+    def test_if_target_skips_body(self):
+        program = make_program()
+        if_stmt = program.function(0).body[2]
+        inner_cond = if_stmt.body[1]
+        assert if_stmt.target == inner_cond.pc + 2 * INSTR_BYTES
+
+    def test_loop_backedge_targets_entry(self):
+        program = make_program()
+        loop = program.function(0).body[4]
+        assert loop.target < loop.pc
+        # body is one compute instruction
+        assert loop.pc == loop.target + 1 * INSTR_BYTES
+
+    def test_jump_forward(self):
+        program = make_program()
+        jump = program.function(0).body[5]
+        assert jump.target > jump.pc
+
+    def test_functions_do_not_overlap(self):
+        program = make_program()
+        f0, f1 = program.functions
+        assert f1.entry > f0.return_pc
+
+    def test_function_alignment(self):
+        program = make_program()
+        assert program.function(1).entry % 64 == 0
+
+    def test_all_branch_pcs_unique(self):
+        program = make_program()
+        pcs = []
+
+        def walk(body):
+            for stmt in body:
+                pc = getattr(stmt, "pc", -1)
+                if pc != -1:
+                    pcs.append(pc)
+                inner = getattr(stmt, "body", None)
+                if inner is not None:
+                    walk(inner)
+
+        for fn in program.functions:
+            walk(fn.body)
+        pcs.append(program.function(0).return_pc)
+        assert len(pcs) == len(set(pcs))
+
+
+class TestProgramValidation:
+    def test_ids_must_be_dense(self):
+        with pytest.raises(ValueError):
+            Program([Function(1, [])], entry_function=0)
+
+    def test_entry_in_range(self):
+        with pytest.raises(ValueError):
+            Program([Function(0, [])], entry_function=3)
+
+
+class TestBranchIds:
+    def test_assignment_covers_nested(self):
+        program = make_program()
+        count = assign_branch_ids(program)
+        # body0: cond, if, if-inner-cond, loop; body1: cond
+        assert count == 5
+        assert program.num_static_branches == 5
+
+    def test_ids_unique(self):
+        program = make_program()
+        assign_branch_ids(program)
+        ids = []
+
+        def walk(body):
+            for stmt in body:
+                bid = getattr(stmt, "branch_id", -1)
+                if bid != -1:
+                    ids.append(bid)
+                inner = getattr(stmt, "body", None)
+                if inner is not None:
+                    walk(inner)
+
+        for fn in program.functions:
+            walk(fn.body)
+        assert sorted(ids) == list(range(len(ids)))
