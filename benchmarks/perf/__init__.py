@@ -1,0 +1,1 @@
+"""Throughput harness for the simulation engine (see harness.py)."""

@@ -2,17 +2,22 @@
 
 Usage::
 
-    python -m repro.experiments [fig01 fig02 ... table3]
+    python -m repro.experiments [fig01 fig02 ... table3] [--jobs N]
 
-With no arguments every experiment runs (simulation results are cached,
-so reruns are cheap).  Honours REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
+With no experiment names every experiment runs (simulation results are
+cached, so reruns are cheap).  ``--jobs`` controls how many worker
+processes prewarm the result cache before the (serial) formatting pass;
+it defaults to the CPU count, or REPRO_JOBS when set.  Honours
+REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
+from repro import parallel
 from repro.experiments import (
     fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
     fig15, tables,
@@ -20,48 +25,87 @@ from repro.experiments import (
 
 _EXPERIMENTS = {
     "table1": ("Table I — workloads",
-               lambda: tables.format_table1(tables.table1())),
+               lambda: tables.format_table1(tables.table1()), None),
     "table2": ("Table II — simulated core",
-               lambda: tables.format_table2(tables.table2())),
+               lambda: tables.format_table2(tables.table2()), None),
     "table3": ("Table III — latency/energy",
-               lambda: tables.format_table3(tables.table3())),
+               lambda: tables.format_table3(tables.table3()), None),
     "fig01": ("Fig 1 — wasted cycles",
-              lambda: fig01.format_rows(fig01.run())),
+              lambda: fig01.format_rows(fig01.run()), fig01.jobs),
     "fig02": ("Fig 2 — TAGE in the limit",
-              lambda: fig02.format_rows(fig02.run())),
+              lambda: fig02.format_rows(fig02.run()), fig02.jobs),
     "fig03": ("Fig 3 — working set (Tomcat)",
-              lambda: fig03.format_rows(fig03.run())),
+              lambda: fig03.format_rows(fig03.run()), fig03.jobs),
     "fig05": ("Fig 5 — context locality",
-              lambda: fig05.format_rows(fig05.run())),
+              lambda: fig05.format_rows(fig05.run()), fig05.jobs),
     "fig09": ("Fig 9 — MPKI reduction",
-              lambda: fig09.format_rows(fig09.run())),
+              lambda: fig09.format_rows(fig09.run()), fig09.jobs),
     "fig10": ("Fig 10 — speedup",
-              lambda: fig10.format_rows(fig10.run())),
+              lambda: fig10.format_rows(fig10.run()), fig10.jobs),
     "fig11": ("Fig 11 — bandwidth",
-              lambda: fig11.format_rows(fig11.run())),
+              lambda: fig11.format_rows(fig11.run()), fig11.jobs),
     "fig12": ("Fig 12 — energy",
-              lambda: fig12.format_rows(fig12.run())),
+              lambda: fig12.format_rows(fig12.run()), fig12.jobs),
     "fig13": ("Fig 13 — CID sensitivity",
-              lambda: fig13.format_rows(fig13.run())),
+              lambda: fig13.format_rows(fig13.run()), fig13.jobs),
     "fig14": ("Fig 14 — pattern sets",
-              lambda: fig14.format_rows(fig14.run())),
+              lambda: fig14.format_rows(fig14.run()), fig14.jobs),
     "fig15": ("Fig 15 — LLBP effectiveness",
-              lambda: fig15.format_rows(fig15.run())),
+              lambda: fig15.format_rows(fig15.run()), fig15.jobs),
 }
 
 
+def _prewarm(names, workers: int) -> None:
+    """Fan every named experiment's simulations across worker processes.
+
+    The experiments themselves then run serially against a warm cache,
+    so their output (and ordering) is unchanged from a serial run.
+    """
+    pairs = []
+    for name in names:
+        manifest = _EXPERIMENTS[name][2]
+        if manifest is not None:
+            pairs.extend(manifest())
+    jobs = parallel.make_jobs(pairs)
+    if len(set(jobs)) < 2:
+        return
+    start = time.time()
+    parallel.run_jobs(jobs, max_workers=workers)
+    print(f"[prewarm] {len(set(jobs))} simulations with {workers} workers "
+          f"({time.time() - start:.1f}s)")
+
+
 def main(argv) -> int:
-    names = argv or list(_EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.")
+    parser.add_argument("names", nargs="*", metavar="experiment",
+                        help="experiments to run (default: all)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for the simulation prewarm "
+                             "(default: REPRO_JOBS or the CPU count; "
+                             "1 disables the pool)")
+    args = parser.parse_args(argv)
+
+    names = args.names or list(_EXPERIMENTS)
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; known: {list(_EXPERIMENTS)}")
         return 2
-    for name in names:
-        title, runner = _EXPERIMENTS[name]
-        start = time.time()
-        body = runner()
-        print(f"\n=== {title} ({time.time() - start:.1f}s) ===")
-        print(body)
+
+    workers = args.jobs if args.jobs is not None else parallel.default_jobs()
+    if workers > 1:
+        _prewarm(names, workers)
+
+    try:
+        for name in names:
+            title, runner, _ = _EXPERIMENTS[name]
+            start = time.time()
+            body = runner()
+            print(f"\n=== {title} ({time.time() - start:.1f}s) ===")
+            print(body)
+    finally:
+        parallel.shutdown()
     return 0
 
 

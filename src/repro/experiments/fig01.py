@@ -42,3 +42,8 @@ def run(workloads: Optional[Sequence[str]] = None,
 
 def format_rows(rows: List[Dict[str, object]]) -> str:
     return format_table(rows, ["workload", "mpki", "wasted_cycles_pct"])
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(workload, "tsl64") for workload in experiment_workloads()]

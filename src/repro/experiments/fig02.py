@@ -47,3 +47,9 @@ def reductions(rows: List[Dict[str, object]]) -> Dict[str, float]:
 
 def format_rows(rows: List[Dict[str, object]]) -> str:
     return format_table(rows, ["workload", *CONFIGS])
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(workload, key)
+            for workload in experiment_workloads() for key in CONFIGS]

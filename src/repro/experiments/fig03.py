@@ -85,3 +85,8 @@ def format_rows(data: Dict[str, object]) -> str:
         ["config", "mpki", "misses_vs_64k", "reduction_vs_64k_pct",
          "reduction_vs_prev_pct", "top_branch_share"],
     )
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(DEFAULT_WORKLOAD, key) for key in CONFIGS]

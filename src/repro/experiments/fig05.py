@@ -44,3 +44,8 @@ def run(workload: str = DEFAULT_WORKLOAD,
 
 def format_rows(rows: List[Dict[str, object]]) -> str:
     return format_table(rows, ["W", "contexts", "p50", "p95", "max"])
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(DEFAULT_WORKLOAD, "tsl64")]

@@ -48,3 +48,10 @@ def run(workloads: Optional[Sequence[str]] = None,
 
 def format_rows(rows: List[Dict[str, object]]) -> str:
     return format_table(rows, ["workload", *LABELS.values()])
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(workload, key)
+            for workload in experiment_workloads()
+            for key in ("tsl64",) + CONFIGS]

@@ -66,3 +66,10 @@ def format_rows(rows: List[Dict[str, object]]) -> str:
         ["structure", "read_bits_per_instr", "write_bits_per_instr",
          "total_bits_per_instr"],
     )
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(workload, "llbp" if entries == 64 else f"llbp:pb={entries}")
+            for entries in PB_SIZES
+            for workload in experiment_workloads()[:3]]

@@ -68,3 +68,10 @@ def format_rows(rows: List[Dict[str, object]]) -> str:
     return format_table(
         rows, ["design", "TAGE-SC-L", "CD", "PB", "LLBP", "total_rel"]
     )
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(workload, "llbp" if entries == 64 else f"llbp:pb={entries}")
+            for entries in PB_SIZES
+            for workload in experiment_workloads()[:3]]

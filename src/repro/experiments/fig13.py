@@ -44,3 +44,14 @@ def run(workloads: Optional[Sequence[str]] = None,
 
 def format_rows(rows: List[Dict[str, object]]) -> str:
     return format_table(rows, ["source", "D", "mpki_reduction_pct"])
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    pairs = []
+    for source in SOURCES:
+        for distance in DISTANCES:
+            for workload in experiment_workloads()[:2]:
+                pairs.append((workload, "tsl64"))
+                pairs.append((workload, f"llbp:src={source},d={distance}"))
+    return pairs

@@ -53,3 +53,16 @@ def format_rows(rows: List[Dict[str, object]]) -> str:
         rows,
         ["contexts", "patterns_per_set", "capacity_kib", "mpki_reduction_pct"],
     )
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    pairs = []
+    for bits in SET_BITS:
+        for patterns in PATTERNS:
+            for workload in experiment_workloads()[:1]:
+                pairs.append((workload, "tsl64"))
+                pairs.append(
+                    (workload,
+                     f"llbp:lat0,unbucketed,cd_bits={bits},ps={patterns}"))
+    return pairs

@@ -50,3 +50,8 @@ def format_rows(data: Dict[str, object]) -> str:
          "both_correct_pct", "both_wrong_pct", "override_rate_pct",
          "bad_share_pct", "redundant_share_pct"],
     )
+
+
+def jobs():
+    """Simulation jobs this figure needs, for parallel prewarming."""
+    return [(workload, "llbp") for workload in experiment_workloads()]

@@ -173,34 +173,102 @@ def clear_memory_cache() -> None:
     _memory_cache.clear()
 
 
-def get_result(workload: str, key: str,
-               instructions: Optional[int] = None) -> SimulationResult:
-    """Simulate ``key`` on ``workload`` (or return the cached result)."""
+def _read_cache(path: Path) -> Optional[SimulationResult]:
+    """Load a cached result; a missing or unreadable file is a miss.
+
+    Truncated or corrupt cache files (an interrupted writer on another
+    cache implementation, disk trouble) must never take the run down —
+    the result is simply recomputed and the file rewritten.
+    """
+    try:
+        with open(path) as fh:
+            return _from_json(json.load(fh))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _write_cache(path: Path, result: SimulationResult) -> None:
+    """Atomically publish a result file (write-temp + rename).
+
+    The temp name embeds the pid so concurrent writers (the parallel
+    executor's workers) never clobber each other's in-progress file;
+    ``os.replace`` makes the final publish atomic, so readers only ever
+    see complete files.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(_to_json(result), fh)
+        os.replace(tmp, path)
+    except OSError:
+        # Caching is best-effort; never fail the simulation over it.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _resolve_instructions(instructions: Optional[int]) -> int:
     if instructions is None:
         from repro.experiments.common import experiment_instructions
 
-        instructions = experiment_instructions()
+        return experiment_instructions()
+    return instructions
 
+
+def peek_result(workload: str, key: str,
+                instructions: Optional[int] = None) -> Optional[SimulationResult]:
+    """Return the cached result if one exists, without simulating."""
+    instructions = _resolve_instructions(instructions)
     memo = (workload, key, instructions)
-    if memo in _memory_cache:
-        return _memory_cache[memo]
-
-    path = _cache_path(workload, instructions, key)
-    if _cache_enabled() and path.exists():
-        with open(path) as fh:
-            result = _from_json(json.load(fh))
+    cached = _memory_cache.get(memo)
+    if cached is not None:
+        return cached
+    if not _cache_enabled():
+        return None
+    result = _read_cache(_cache_path(workload, instructions, key))
+    if result is not None:
         _memory_cache[memo] = result
-        return result
+    return result
+
+
+def seed_result(workload: str, key: str, instructions: int,
+                result: SimulationResult) -> None:
+    """Install an externally computed result into the in-memory cache."""
+    _memory_cache[(workload, key, instructions)] = result
+
+
+def get_result(workload: str, key: str,
+               instructions: Optional[int] = None) -> SimulationResult:
+    """Simulate ``key`` on ``workload`` (or return the cached result)."""
+    instructions = _resolve_instructions(instructions)
+
+    cached = peek_result(workload, key, instructions)
+    if cached is not None:
+        return cached
 
     trace = generate_workload(workload, instructions)
     predictor = resolve_predictor(key)
     result = run_simulation(trace, predictor, collect_per_pc=True)
 
     if _cache_enabled():
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as fh:
-            json.dump(_to_json(result), fh)
-        os.replace(tmp, path)
-    _memory_cache[memo] = result
+        _write_cache(_cache_path(workload, instructions, key), result)
+    _memory_cache[(workload, key, instructions)] = result
     return result
+
+
+def run_many(pairs, instructions: Optional[int] = None,
+             max_workers: Optional[int] = None) -> Dict[tuple, SimulationResult]:
+    """Batch API: run many (workload, key) pairs, in parallel when useful.
+
+    Returns ``{(workload, key): result}``.  With ``max_workers=1`` (or a
+    single cache miss) this degenerates to serial ``get_result`` calls;
+    results are identical either way.
+    """
+    from repro.parallel import make_jobs, run_jobs
+
+    jobs = make_jobs(pairs, instructions)
+    by_job = run_jobs(jobs, max_workers=max_workers)
+    return {(job.workload, job.key): result
+            for job, result in by_job.items()}

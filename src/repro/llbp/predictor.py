@@ -20,7 +20,6 @@ is where late pattern sets can cost LLBP coverage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.rng import XorShift32
@@ -36,22 +35,51 @@ from repro.predictors.presets import TAGE_HISTORY_LENGTHS, tsl_64k
 from repro.predictors.tage_sc_l import TageScL, TslResult
 
 
-@dataclass
 class LLBPMeta:
     """Per-prediction metadata carried from ``predict`` to ``train``."""
 
-    tsl: TslResult
-    ccid: int
-    pattern_set: Optional[PatternSet]
-    slot: int                       # matching pattern slot, -1 = no match
-    slot_tags: Optional[List[int]]  # computed tags per hash slot
-    llbp_pred: bool
-    llbp_rank: int                  # history-length rank of the match
-    overrode: bool
+    __slots__ = ("tsl", "ccid", "pattern_set", "slot", "slot_tags",
+                 "llbp_pred", "llbp_rank", "overrode")
+
+    def __init__(self, tsl: TslResult, ccid: int,
+                 pattern_set: Optional[PatternSet], slot: int,
+                 slot_tags: Optional[List[int]], llbp_pred: bool,
+                 llbp_rank: int, overrode: bool) -> None:
+        self.tsl = tsl
+        self.ccid = ccid
+        self.pattern_set = pattern_set
+        self.slot = slot                # matching pattern slot, -1 = no match
+        self.slot_tags = slot_tags      # computed tags per hash slot
+        self.llbp_pred = llbp_pred
+        self.llbp_rank = llbp_rank      # history-length rank of the match
+        self.overrode = overrode
 
     @property
     def pred(self) -> bool:
         return self.tsl.pred
+
+
+def _compile_slot_tags(slot_folds, tag_mask: int, values: List[int],
+                       second_values: List[int]):
+    """Compile an unrolled slot-tag hash: one list literal, no loop.
+
+    Per-slot shifts, salts and fold indices are baked in as constants;
+    the fold-value lists are bound by identity (mutated in place by their
+    ``HistorySet`` owners, never rebound).  ``second_values`` holds each
+    slot's second (width ``ptb - 1``) fold — usually the baseline TAGE's
+    own tag-fold list, borrowed rather than duplicated.  Semantically
+    identical to looping over ``_slot_folds`` and hashing each slot.
+    """
+    exprs = [
+        f"(pcx ^ (pcx >> {sh}) ^ values[{ja}] ^ (second[{jb}] << 1)"
+        f" ^ {salt}) & {tag_mask}"
+        for sh, salt, ja, jb in slot_folds
+    ]
+    lines = ["def _slot_tags(pcx, values=values, second=second):",
+             "    return [" + ",\n            ".join(exprs) + "]"]
+    namespace = {"values": values, "second": second_values}
+    exec(compile("\n".join(lines), "<slot-tags>", "exec"), namespace)
+    return namespace["_slot_tags"]
 
 
 class LLBPTageScL(BranchPredictor):
@@ -70,11 +98,47 @@ class LLBPTageScL(BranchPredictor):
         self.history: GlobalHistory = self.tsl.history
         # Folded registers for the 16 hash slots, fed by the same history
         # stream as the baseline TAGE (§V-B).
-        self.folded = HistorySet(
-            self.history,
-            [HistorySpec(length, config.pattern_tag_bits, config.pattern_tag_bits)
-             for length in config.slot_lengths],
-        )
+        # Tag-only: LLBP never indexes by a folded history, and with
+        # index_bits == tag_bits the index fold would just duplicate the
+        # tag fold — tag_only drops it, cutting a third of the fold work.
+        # Starred (duplicate-length) slots share identical fold values, so
+        # only unique lengths carry registers; per-slot rows map back.
+        unique: dict = {}
+        for length in config.slot_lengths:
+            if length not in unique:
+                unique[length] = len(unique)
+        ptb = config.pattern_tag_bits
+        specs = [HistorySpec(length, ptb, ptb) for length in unique]
+        # Second fold (width ptb-1): when the baseline TAGE folds the very
+        # same history lengths at that width (the standard geometry —
+        # slot lengths are TAGE lengths and tag_bits == ptb - 1), its tag
+        # folds are bit-identical registers, so borrow them instead of
+        # maintaining duplicates.  Otherwise keep a private pair.
+        tage_cfg = self.tsl.tage.config
+        tage_lengths = tage_cfg.history_lengths
+        if (tage_cfg.tag_bits == ptb - 1
+                and all(length in tage_lengths for length in unique)):
+            self.folded = HistorySet(self.history, specs, fold_widths=(ptb,))
+            second_values = self.tsl.tage.folded.values
+            second = {
+                length: 3 * tage_lengths.index(length) + 1 for length in unique
+            }
+            first_stride = 1
+        else:
+            self.folded = HistorySet(self.history, specs, tag_only=True)
+            second_values = self.folded.values
+            second = {length: 2 * unique[length] + 1 for length in unique}
+            first_stride = 2
+        # Per-slot (pc shift, salt, fold indices) rows for compute_slot_tags;
+        # ja indexes this set's values, jb the (possibly borrowed) second
+        # fold's list.
+        self._slot_folds = [
+            (h + 2, h * 0x9E5, first_stride * unique[length], second[length])
+            for h, length in enumerate(config.slot_lengths)
+        ]
+        self._slot_tags = _compile_slot_tags(
+            self._slot_folds, (1 << ptb) - 1,
+            self.folded.values, second_values)
         # History-length rank of each hash slot, in TAGE-table units, so a
         # small comparison arbitrates between the two predictors (§V-B).
         self._slot_rank = [
@@ -121,16 +185,7 @@ class LLBPTageScL(BranchPredictor):
         same width but mix the PC differently — the slot index acts as the
         hash salt (§VI: "a modified hash function").
         """
-        pcx = pc >> 2
-        mask = self._tag_mask
-        folds = self.folded.folds
-        tags = []
-        for h in range(len(self.config.slot_lengths)):
-            _, tag1, tag2 = folds(h)
-            tags.append(
-                (pcx ^ (pcx >> (h + 2)) ^ tag1 ^ (tag2 << 1) ^ (h * 0x9E5)) & mask
-            )
-        return tags
+        return self._slot_tags(pc >> 2)
 
     # -- prediction ---------------------------------------------------------------
 

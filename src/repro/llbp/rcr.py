@@ -37,6 +37,13 @@ class RollingContextRegister:
         self._pcs: List[int] = [0] * depth
         self._mask = (1 << config.cid_bits) - 1
         self._source = config.context_source
+        # Rolling accumulators: the raw (unfolded) XOR of the window's
+        # position-shifted PCs, updated in O(1) per push — XOR is exactly
+        # cancellable, so shifting the whole accumulator and XOR-ing out
+        # the term that left reproduces a from-scratch rehash bit for bit.
+        self._out_shift = config.position_shift * config.context_window
+        self._acc_pf = 0   # window of the W newest entries (prefetch CID)
+        self._acc_cur = 0  # window ending D entries before the newest (CCID)
         self.ccid = 0
         self.prefetch_cid = 0
         self._recompute()
@@ -51,14 +58,43 @@ class RollingContextRegister:
 
     def push(self, pc: int) -> bool:
         """Record a context-forming branch; returns True if CCID changed."""
-        self._pcs.append(pc)
-        self._pcs.pop(0)
+        config = self.config
+        shift = config.position_shift
+        out_shift = self._out_shift
+        distance = config.prefetch_distance
+        cid_bits = config.cid_bits
+        mask = self._mask
+        pcs = self._pcs
+
+        # Every entry's position grows by one (<< shift), the entry that
+        # falls out of each window is XOR-ed away at its new position
+        # (out_shift = shift * W), and the entry rolling in lands at
+        # position zero.  The entry leaving the CCID window is the one
+        # leaving the register altogether; the one entering it is the one
+        # leaving the prefetch window D pushes later.
+        value = self._acc_pf = (
+            (self._acc_pf << shift)
+            ^ ((pcs[distance] >> 2) << out_shift) ^ (pc >> 2))
+        self.prefetch_cid = (value ^ (value >> cid_bits)
+                             ^ (value >> (2 * cid_bits))) & mask
         old = self.ccid
-        self._recompute()
+        if distance:
+            value = self._acc_cur = (
+                (self._acc_cur << shift)
+                ^ ((pcs[0] >> 2) << out_shift) ^ (pcs[-distance] >> 2))
+            self.ccid = (value ^ (value >> cid_bits)
+                         ^ (value >> (2 * cid_bits))) & mask
+        else:
+            self.ccid = self.prefetch_cid
+        pcs.append(pc)
+        pcs.pop(0)
         return self.ccid != old
 
     def _hash_window(self, start: int) -> int:
         """Hash ``W`` PCs ending ``start`` entries before the newest."""
+        return self._fold(self._raw_window(start))
+
+    def _raw_window(self, start: int) -> int:
         config = self.config
         newest = len(self._pcs) - 1 - start
         value = 0
@@ -66,15 +102,23 @@ class RollingContextRegister:
         for position in range(config.context_window):
             pc = self._pcs[newest - position]
             value ^= (pc >> 2) << (shift * position)
-        return (value ^ (value >> config.cid_bits)
-                ^ (value >> (2 * config.cid_bits))) & self._mask
+        return value
+
+    def _fold(self, value: int) -> int:
+        cid_bits = self.config.cid_bits
+        return (value ^ (value >> cid_bits)
+                ^ (value >> (2 * cid_bits))) & self._mask
 
     def _recompute(self) -> None:
-        self.prefetch_cid = self._hash_window(0)
+        """Rebuild the accumulators from scratch (init / restore)."""
+        self._acc_pf = self._raw_window(0)
+        self.prefetch_cid = self._fold(self._acc_pf)
         if self.config.prefetch_distance == 0:
+            self._acc_cur = self._acc_pf
             self.ccid = self.prefetch_cid
         else:
-            self.ccid = self._hash_window(self.config.prefetch_distance)
+            self._acc_cur = self._raw_window(self.config.prefetch_distance)
+            self.ccid = self._fold(self._acc_cur)
 
     def cid_at(self, distance: int) -> int:
         """CID of the context ``distance`` context-forming branches ahead.

@@ -1,0 +1,17 @@
+"""Parallel experiment execution.
+
+Fans simulation jobs across worker processes with cache-aware dispatch:
+jobs whose results are already cached never reach the pool, duplicate
+jobs are coalesced, and completed results land in both the on-disk
+result cache and the calling process's in-memory cache.
+"""
+
+from repro.parallel.executor import (
+    SimJob,
+    default_jobs,
+    make_jobs,
+    run_jobs,
+    shutdown,
+)
+
+__all__ = ["SimJob", "default_jobs", "make_jobs", "run_jobs", "shutdown"]

@@ -1,0 +1,163 @@
+"""Process-pool scheduler for simulation jobs.
+
+The unit of work is a :class:`SimJob` — one (workload, instructions,
+predictor-key) triple, exactly the granularity of the on-disk result
+cache.  :func:`run_jobs` takes any number of jobs and:
+
+1. deduplicates them (figures share baselines like ``tsl64``);
+2. answers what it can from the in-memory and on-disk caches without
+   touching the pool;
+3. coalesces jobs already in flight from an earlier call instead of
+   dispatching them twice;
+4. fans the rest across a process pool, where each worker runs the
+   ordinary cached runner (so results are written to the shared disk
+   cache, atomically, as they complete);
+5. seeds the parent's in-memory cache with every result, so subsequent
+   serial code (``get_result``) never re-simulates.
+
+Workers inherit ``REPRO_*`` environment knobs from the parent, which is
+what keeps parallel results bit-identical to serial runs: the same trace
+generation, the same predictor construction, the same engine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.sim.results import SimulationResult
+
+
+class SimJob(NamedTuple):
+    """One simulation: a workload/instruction-budget/predictor triple."""
+
+    workload: str
+    key: str
+    instructions: int
+
+
+def default_jobs() -> int:
+    """Worker count: REPRO_JOBS if set, else the machine's CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def make_jobs(pairs: Iterable[Tuple[str, str]],
+              instructions: Optional[int] = None) -> List[SimJob]:
+    """Expand (workload, key) pairs into jobs at the experiment budget."""
+    if instructions is None:
+        from repro.experiments.common import experiment_instructions
+
+        instructions = experiment_instructions()
+    return [SimJob(w, k, instructions) for w, k in pairs]
+
+
+def _simulate(job: SimJob) -> SimulationResult:
+    """Worker entry point: run the cached runner for one job.
+
+    Module-level so it pickles; imports stay inside so the worker pays
+    for them once, after the fork/spawn.
+    """
+    from repro.experiments import runner
+
+    return runner.get_result(job.workload, job.key, job.instructions)
+
+
+# One pool per process, plus the jobs currently submitted to it.  The
+# lock guards both; futures stay registered until consumed so concurrent
+# run_jobs calls (e.g. threaded test sessions) coalesce duplicates.
+_lock = threading.Lock()
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_inflight: Dict[SimJob, Future] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None and not _inflight:
+            _pool.shutdown(wait=True)
+            _pool = None
+        if _pool is None:
+            _pool = ProcessPoolExecutor(max_workers=workers)
+            _pool_workers = workers
+    return _pool
+
+
+def shutdown() -> None:
+    """Tear down the worker pool (tests; end of a CLI run)."""
+    global _pool, _pool_workers
+    with _lock:
+        pool, _pool, _pool_workers = _pool, None, 0
+        _inflight.clear()
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def run_jobs(jobs: Sequence[SimJob],
+             max_workers: Optional[int] = None) -> Dict[SimJob, SimulationResult]:
+    """Run every job, in parallel where possible; returns job -> result.
+
+    Results are identical to calling ``runner.get_result`` for each job
+    serially — the parallel path only changes *where* the simulation
+    runs, never what it computes.
+    """
+    from repro.experiments import runner
+
+    if max_workers is None:
+        max_workers = default_jobs()
+
+    unique: List[SimJob] = list(dict.fromkeys(jobs))
+    results: Dict[SimJob, SimulationResult] = {}
+
+    # Cache peek: anything already in the memory or disk cache skips the
+    # pool entirely (and gets promoted into the memory cache).
+    pending: List[SimJob] = []
+    for job in unique:
+        cached = runner.peek_result(job.workload, job.key, job.instructions)
+        if cached is not None:
+            results[job] = cached
+        else:
+            pending.append(job)
+
+    if not pending:
+        return {job: results[job] for job in jobs}
+
+    if max_workers <= 1 or len(pending) == 1:
+        # Serial fallback: no pool spin-up for a single miss or -j 1.
+        for job in pending:
+            results[job] = runner.get_result(job.workload, job.key,
+                                             job.instructions)
+        return {job: results[job] for job in jobs}
+
+    futures: Dict[SimJob, Future] = {}
+    owned: List[SimJob] = []
+    with _lock:
+        pool = _get_pool(min(max_workers, len(pending)))
+        for job in pending:
+            future = _inflight.get(job)
+            if future is None:
+                future = pool.submit(_simulate, job)
+                _inflight[job] = future
+                owned.append(job)
+            futures[job] = future
+
+    try:
+        for job in pending:
+            result = futures[job].result()
+            # Seed the parent's memory cache: the worker wrote the disk
+            # cache, but this process should not have to re-read it.
+            runner.seed_result(job.workload, job.key, job.instructions,
+                               result)
+            results[job] = result
+    finally:
+        with _lock:
+            for job in owned:
+                if _inflight.get(job) is futures.get(job):
+                    del _inflight[job]
+
+    return {job: results[job] for job in jobs}

@@ -39,6 +39,9 @@ class InfiniteTage(Tage):
         self.entries: List[Dict[Tuple[int, int, int], List[int]]] = [
             dict() for _ in range(n)
         ]
+        # Rebuild the match rows over the dict tables (the inherited rows
+        # reference the deleted array tables).
+        self._match_rows = [(t, t + 1, e) for t, e in enumerate(self.entries)]
         self.trace_useful = False
         self.useful_patterns: Dict[int, Set[PatternKey]] = {}
         self.useful_callback: Optional[Callable[[int, PatternKey], None]] = None
@@ -46,50 +49,59 @@ class InfiniteTage(Tage):
     # -- prediction ----------------------------------------------------------
 
     def lookup(self, pc: int) -> TageResult:
-        config = self.config
-        n = config.num_tables
         idx_mask = self._idx_mask
         tag_mask = self._tag_mask
         pcx = pc >> 2
         path = self.history.path
-        path_mix = path ^ (path >> config.index_bits)
-        folds = self.folded.folds
+        path_mix = pcx ^ (path ^ (path >> self.config.index_bits))
 
-        res = TageResult()
-        indices = res.indices
-        tags = res.tags
+        indices: List[int] = []
+        tags: List[int] = []
+        append_index = indices.append
+        append_tag = tags.append
         provider = -1
         alt = -1
-        for t in range(n):
-            f_idx, f_tag1, f_tag2 = folds(t)
-            idx = (pcx ^ (pcx >> (t + 1)) ^ f_idx ^ path_mix) & idx_mask
-            tag = (pcx ^ f_tag1 ^ (f_tag2 << 1)) & tag_mask
-            indices.append(idx)
-            tags.append(tag)
-            if (idx, tag, pc) in self.entries[t]:
+        fv = iter(self.folded.values)
+        for (t, sh, entries_t), f0, f1, f2 in zip(self._match_rows,
+                                                  fv, fv, fv):
+            idx = ((pcx >> sh) ^ f0 ^ path_mix) & idx_mask
+            tag = (pcx ^ f1 ^ (f2 << 1)) & tag_mask
+            append_index(idx)
+            append_tag(tag)
+            if (idx, tag, pc) in entries_t:
                 alt = provider
                 provider = t
 
-        res.bim_pred = self.bimodal.lookup(pc)
+        res = TageResult.__new__(TageResult)
+        res.indices = indices
+        res.tags = tags
+        res.bim_pred = bim_pred = self.bimodal.lookup(pc)
+        res.provider = provider
         if provider >= 0:
             ctr = self.entries[provider][(indices[provider], tags[provider], pc)][0]
-            res.provider = provider
             res.provider_ctr = ctr
-            res.provider_pred = ctr >= 0
-            res.provider_weak = ctr in (0, -1)
+            res.provider_pred = provider_pred = ctr >= 0
+            res.provider_weak = weak = ctr == 0 or ctr == -1
             res.alt_provider = alt
             if alt >= 0:
-                res.alt_pred = self.entries[alt][(indices[alt], tags[alt], pc)][0] >= 0
+                alt_pred = self.entries[alt][(indices[alt], tags[alt], pc)][0] >= 0
             else:
-                res.alt_pred = res.bim_pred
-            if res.provider_weak and self._use_alt >= (1 << (config.use_alt_bits - 1)):
+                alt_pred = bim_pred
+            res.alt_pred = alt_pred
+            if weak and self._use_alt >= self._use_alt_mid:
                 res.used_alt = True
-                res.pred = res.alt_pred
+                res.pred = alt_pred
             else:
-                res.pred = res.provider_pred
+                res.used_alt = False
+                res.pred = provider_pred
         else:
-            res.alt_pred = res.bim_pred
-            res.pred = res.bim_pred
+            res.provider_ctr = 0
+            res.provider_pred = False
+            res.provider_weak = False
+            res.alt_provider = -1
+            res.used_alt = False
+            res.alt_pred = bim_pred
+            res.pred = bim_pred
         return res
 
     # -- training ------------------------------------------------------------

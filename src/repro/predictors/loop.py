@@ -7,35 +7,40 @@ learns whether trusting the loop predictor over TAGE pays off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.rng import XorShift32
 from repro.predictors.base import BranchPredictor
 
 
-@dataclass
 class _LoopEntry:
-    tag: int = 0
-    past_iter: int = 0
-    current_iter: int = 0
-    confidence: int = 0
-    age: int = 0
-    direction: bool = True  # direction while the loop is iterating
+    __slots__ = ("tag", "past_iter", "current_iter", "confidence", "age",
+                 "direction")
 
     CONF_MAX = 3
     AGE_MAX = 255
 
+    def __init__(self) -> None:
+        self.tag = 0
+        self.past_iter = 0
+        self.current_iter = 0
+        self.confidence = 0
+        self.age = 0
+        self.direction = True  # direction while the loop is iterating
 
-@dataclass
+
 class LoopResult:
-    """Outcome of a loop-predictor lookup."""
+    """Outcome of a loop-predictor lookup (``__slots__``: one per branch)."""
 
-    valid: bool = False           # confident prediction available
-    pred: bool = False
-    hit: bool = False
-    way: int = -1
-    set_index: int = 0
+    __slots__ = ("valid", "pred", "hit", "way", "set_index")
+
+    def __init__(self, valid: bool = False, pred: bool = False,
+                 hit: bool = False, way: int = -1, set_index: int = 0) -> None:
+        self.valid = valid            # confident prediction available
+        self.pred = pred
+        self.hit = hit
+        self.way = way
+        self.set_index = set_index
 
 
 class LoopPredictor(BranchPredictor):
@@ -50,6 +55,8 @@ class LoopPredictor(BranchPredictor):
         self.ways = ways
         self.tag_bits = tag_bits
         self._sets = 1 << index_bits
+        self._set_mask = self._sets - 1
+        self._tag_shift = 2 + index_bits
         self._tag_mask = (1 << tag_bits) - 1
         self.table = [[_LoopEntry() for _ in range(ways)] for _ in range(self._sets)]
         self._rng = XorShift32(seed)
@@ -64,9 +71,15 @@ class LoopPredictor(BranchPredictor):
         return (pc >> (2 + self.index_bits)) & self._tag_mask
 
     def lookup(self, pc: int) -> LoopResult:
-        res = LoopResult(set_index=self._set_index(pc))
-        tag = self._tag(pc)
-        for way, entry in enumerate(self.table[res.set_index]):
+        set_index = (pc >> 2) & self._set_mask
+        res = LoopResult.__new__(LoopResult)
+        res.valid = False
+        res.pred = False
+        res.hit = False
+        res.way = -1
+        res.set_index = set_index
+        tag = (pc >> self._tag_shift) & self._tag_mask
+        for way, entry in enumerate(self.table[set_index]):
             if entry.age > 0 and entry.tag == tag:
                 res.hit = True
                 res.way = way

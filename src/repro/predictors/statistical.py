@@ -11,20 +11,51 @@ TAGE mis-learns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 
-@dataclass
 class ScResult:
-    """Outcome of a corrector lookup."""
+    """Outcome of a corrector lookup (``__slots__``: allocated per branch)."""
 
-    sum: int = 0
-    pred: bool = False        # corrector's own direction
-    use: bool = False         # confident enough to override TAGE
-    base_pred: bool = False   # the prediction being corrected
-    indices: Tuple[int, ...] = ()
-    bias_index: int = 0
+    __slots__ = ("sum", "pred", "use", "base_pred", "indices", "bias_index")
+
+    def __init__(self, sum: int = 0, pred: bool = False, use: bool = False,
+                 base_pred: bool = False, indices: Tuple[int, ...] = (),
+                 bias_index: int = 0) -> None:
+        self.sum = sum
+        self.pred = pred              # corrector's own direction
+        self.use = use                # confident enough to override TAGE
+        self.base_pred = base_pred    # the prediction being corrected
+        self.indices = indices
+        self.bias_index = bias_index
+
+
+def _compile_vote(hist_masks: Sequence[int], index_bits: int, mask: int,
+                  tables: List[List[int]]):
+    """Compile the unrolled per-component hash-and-vote core of ``lookup``.
+
+    History masks, pc shifts and the index mask are baked in as constants;
+    the counter tables are bound by identity (mutated in place by
+    ``train``, never rebound).  Returns ``(indices, vote)`` where ``vote``
+    is the sum of the centred component counters,
+    ``sum(2 * table[idx] + 1)`` — equivalent to hashing each component
+    with ``_component_index`` and accumulating.
+    """
+    n = len(hist_masks)
+    lines = []
+    add = lines.append
+    add(f"def _vote(pcx, history, "
+        f"{', '.join(f'T{c}=T{c}' for c in range(n))}):")
+    for c, hist_mask in enumerate(hist_masks):
+        add(f"    h = history & {hist_mask}")
+        add(f"    i{c} = (pcx ^ (pcx >> {c + 2}) ^ h ^ (h >> {index_bits}))"
+            f" & {mask}")
+    indices = ", ".join(f"i{c}" for c in range(n)) + ("," if n == 1 else "")
+    votes = " + ".join(f"T{c}[i{c}]" for c in range(n))
+    add(f"    return ({indices}), 2 * ({votes}) + {n}")
+    namespace = {f"T{c}": table for c, table in enumerate(tables)}
+    exec(compile("\n".join(lines), "<sc-vote>", "exec"), namespace)
+    return namespace["_vote"]
 
 
 class StatisticalCorrector:
@@ -40,9 +71,16 @@ class StatisticalCorrector:
         self.history_lengths = tuple(history_lengths)
         self.index_bits = index_bits
         self._mask = (1 << index_bits) - 1
+        # Per-component history-window masks, precomputed for lookup.
+        self._hist_masks = tuple((1 << length) - 1 for length in self.history_lengths)
         self.tables: List[List[int]] = [
             [0] * (1 << index_bits) for _ in self.history_lengths
         ]
+        # Generated, unrolled component-vote core (see _compile_vote); the
+        # tables are bound by identity and mutated in place, so the
+        # compiled function never goes stale.
+        self._vote = _compile_vote(
+            self._hist_masks, index_bits, self._mask, self.tables)
         self.bias_table = [0] * (1 << index_bits)
         self.history = 0  # corrector-local outcome history
         self.threshold = 6
@@ -60,13 +98,13 @@ class StatisticalCorrector:
 
     def lookup(self, pc: int, base_pred: bool, provider_ctr: int,
                provider_valid: bool) -> ScResult:
-        indices = tuple(
-            self._component_index(pc, c) for c in range(len(self.history_lengths))
-        )
-        bias_index = ((pc >> 2) * 2 + (1 if base_pred else 0)) & self._mask
-        total = 2 * self.bias_table[bias_index] + 1
-        for table, idx in zip(self.tables, indices):
-            total += 2 * table[idx] + 1
+        pcx = pc >> 2
+        bias_index = (pcx * 2 + (1 if base_pred else 0)) & self._mask
+        # The generated core hashes every history window and accumulates
+        # the centred component votes (equivalent to summing
+        # ``2 * table[_component_index(pc, c)] + 1`` over components).
+        indices, vote = self._vote(pcx, self.history)
+        total = 2 * self.bias_table[bias_index] + 1 + vote
         # TAGE's confidence participates in the vote (centered magnitude).
         if provider_valid:
             conf = abs(2 * provider_ctr + 1)
@@ -74,14 +112,13 @@ class StatisticalCorrector:
         else:
             total += 4 if base_pred else -4
 
-        res = ScResult(
-            sum=total,
-            pred=total >= 0,
-            base_pred=base_pred,
-            indices=indices,
-            bias_index=bias_index,
-        )
-        res.use = res.pred != base_pred and abs(total) >= self.threshold
+        res = ScResult.__new__(ScResult)
+        res.sum = total
+        res.pred = pred = total >= 0
+        res.base_pred = base_pred
+        res.indices = indices
+        res.bias_index = bias_index
+        res.use = pred != base_pred and abs(total) >= self.threshold
         return res
 
     # -- training ---------------------------------------------------------------

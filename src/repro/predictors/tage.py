@@ -13,7 +13,7 @@ history length) can interpose between prediction and training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.rng import XorShift32
@@ -55,21 +55,35 @@ class TageConfig:
         ]
 
 
-@dataclass
 class TageResult:
-    """Everything ``lookup`` learned, consumed later by ``update``."""
+    """Everything ``lookup`` learned, consumed later by ``update``.
 
-    pred: bool = False
-    provider: int = -1           # table index; -1 = bimodal provided
-    provider_pred: bool = False
-    provider_ctr: int = 0
-    provider_weak: bool = False
-    alt_pred: bool = False
-    alt_provider: int = -1       # table index of the alt match; -1 = bimodal
-    used_alt: bool = False
-    bim_pred: bool = False
-    indices: List[int] = field(default_factory=list)
-    tags: List[int] = field(default_factory=list)
+    A ``__slots__`` class rather than a dataclass: one is allocated per
+    conditional branch, so construction and attribute-access speed matter.
+    """
+
+    __slots__ = ("pred", "provider", "provider_pred", "provider_ctr",
+                 "provider_weak", "alt_pred", "alt_provider", "used_alt",
+                 "bim_pred", "indices", "tags")
+
+    def __init__(self, pred: bool = False, provider: int = -1,
+                 provider_pred: bool = False, provider_ctr: int = 0,
+                 provider_weak: bool = False, alt_pred: bool = False,
+                 alt_provider: int = -1, used_alt: bool = False,
+                 bim_pred: bool = False,
+                 indices: Optional[List[int]] = None,
+                 tags: Optional[List[int]] = None) -> None:
+        self.pred = pred
+        self.provider = provider             # table index; -1 = bimodal provided
+        self.provider_pred = provider_pred
+        self.provider_ctr = provider_ctr
+        self.provider_weak = provider_weak
+        self.alt_pred = alt_pred
+        self.alt_provider = alt_provider     # table index of the alt match; -1 = bimodal
+        self.used_alt = used_alt
+        self.bim_pred = bim_pred
+        self.indices = [] if indices is None else indices
+        self.tags = [] if tags is None else tags
 
     @property
     def provider_length_rank(self) -> int:
@@ -80,6 +94,44 @@ class TageResult:
         length field").
         """
         return self.provider + 1
+
+
+def _compile_match(num_tables: int, idx_mask: int, tag_mask: int,
+                   values: List[int], tags: List[List[int]]):
+    """Compile the unrolled per-instance table-match core of ``lookup``.
+
+    Runs once per conditional branch, against every table, so the loop is
+    generated with all geometry (pc shifts, masks) baked in as constants
+    and the fold registers unpacked into locals in one go.  The fold-value
+    list and the per-table tag lists are bound as default arguments; both
+    are mutated in place by their owners (``HistorySet`` / ``allocate``)
+    and never rebound, so the binding stays valid for the instance's life.
+    Semantically identical to looping ``compute_index``/``compute_tag``
+    with a sequential longest-match scan.
+    """
+    lines = []
+    add = lines.append
+    defaults = ", ".join(
+        ["values=values"] + [f"T{t}=T{t}" for t in range(num_tables)])
+    add(f"def _match(pcx, path_mix, {defaults}):")
+    names = ", ".join(f"f{j}" for j in range(3 * num_tables))
+    add(f"    {names} = values")
+    add("    provider = -1")
+    add("    alt = -1")
+    for t in range(num_tables):
+        j = 3 * t
+        add(f"    i{t} = ((pcx >> {t + 1}) ^ f{j} ^ path_mix) & {idx_mask}")
+        add(f"    g{t} = (pcx ^ f{j + 1} ^ (f{j + 2} << 1)) & {tag_mask}")
+        add(f"    if T{t}[i{t}] == g{t}:")
+        add("        alt = provider")
+        add(f"        provider = {t}")
+    add(f"    return [{', '.join(f'i{t}' for t in range(num_tables))}], "
+        f"[{', '.join(f'g{t}' for t in range(num_tables))}], provider, alt")
+    namespace = {"values": values}
+    for t in range(num_tables):
+        namespace[f"T{t}"] = tags[t]
+    exec(compile("\n".join(lines), "<tage-match>", "exec"), namespace)
+    return namespace["_match"]
 
 
 class Tage(BranchPredictor):
@@ -102,12 +154,24 @@ class Tage(BranchPredictor):
         self._ctr_hi = ctr_hi
         self._ctr_lo = -(ctr_hi + 1)
         # Parallel per-table arrays: prediction counters, tags, useful bits.
+        # Tags start at the -1 sentinel: computed tags are always >= 0, so
+        # an unallocated entry can never match and the hot match loop
+        # needs no separate valid check (``_valid`` is still maintained
+        # for allocation bookkeeping and tests).
         self.ctrs: List[List[int]] = [[0] * size for _ in range(n)]
-        self.tags: List[List[int]] = [[0] * size for _ in range(n)]
+        self.tags: List[List[int]] = [[-1] * size for _ in range(n)]
         self.useful: List[List[int]] = [[0] * size for _ in range(n)]
         self._valid: List[List[bool]] = [[False] * size for _ in range(n)]
+        # Generated, fully-unrolled table-match core (see _compile_match).
+        # It captures the fold-value list and the per-table tag lists by
+        # object identity; both are only ever mutated in place, so the
+        # compiled function never goes stale.
+        self._match = _compile_match(
+            n, self._idx_mask, self._tag_mask, self.folded.values, self.tags)
+        self._path_shift = config.index_bits
         self._rng = XorShift32(config.seed)
-        self._use_alt = 1 << (config.use_alt_bits - 1)  # mid-point
+        self._use_alt_mid = 1 << (config.use_alt_bits - 1)
+        self._use_alt = self._use_alt_mid  # start at the mid-point
         self._use_alt_max = (1 << config.use_alt_bits) - 1
         self._tick = 0
 
@@ -128,52 +192,46 @@ class Tage(BranchPredictor):
     # -- prediction ----------------------------------------------------------
 
     def lookup(self, pc: int) -> TageResult:
-        config = self.config
-        n = config.num_tables
-        idx_mask = self._idx_mask
-        tag_mask = self._tag_mask
         pcx = pc >> 2
         path = self.history.path
-        path_mix = path ^ (path >> config.index_bits)
-        folds = self.folded.folds
+        indices, tags, provider, alt = self._match(
+            pcx, pcx ^ (path ^ (path >> self._path_shift)))
 
-        res = TageResult()
-        indices = res.indices
-        tags = res.tags
-        provider = -1
-        alt = -1
-        for t in range(n):
-            f_idx, f_tag1, f_tag2 = folds(t)
-            idx = (pcx ^ (pcx >> (t + 1)) ^ f_idx ^ path_mix) & idx_mask
-            tag = (pcx ^ f_tag1 ^ (f_tag2 << 1)) & tag_mask
-            indices.append(idx)
-            tags.append(tag)
-            if self._valid[t][idx] and self.tags[t][idx] == tag:
-                alt = provider
-                provider = t
-
-        res.bim_pred = self.bimodal.lookup(pc)
+        # Built via __new__ with every slot stored exactly once: one
+        # TageResult per conditional branch makes default-then-overwrite
+        # construction measurable.
+        res = TageResult.__new__(TageResult)
+        res.indices = indices
+        res.tags = tags
+        res.bim_pred = bim_pred = self.bimodal.lookup(pc)
+        res.provider = provider
         if provider >= 0:
             ctr = self.ctrs[provider][indices[provider]]
-            res.provider = provider
             res.provider_ctr = ctr
-            res.provider_pred = ctr >= 0
-            res.provider_weak = ctr in (0, -1)
+            res.provider_pred = provider_pred = ctr >= 0
+            res.provider_weak = weak = ctr == 0 or ctr == -1
             res.alt_provider = alt
             if alt >= 0:
-                res.alt_pred = self.ctrs[alt][indices[alt]] >= 0
+                alt_pred = self.ctrs[alt][indices[alt]] >= 0
             else:
-                res.alt_pred = res.bim_pred
+                alt_pred = bim_pred
+            res.alt_pred = alt_pred
             # Newly-allocated entries are unreliable; a global counter
             # decides whether to trust the alternative instead.
-            if res.provider_weak and self._use_alt >= (1 << (self.config.use_alt_bits - 1)):
+            if weak and self._use_alt >= self._use_alt_mid:
                 res.used_alt = True
-                res.pred = res.alt_pred
+                res.pred = alt_pred
             else:
-                res.pred = res.provider_pred
+                res.used_alt = False
+                res.pred = provider_pred
         else:
-            res.alt_pred = res.bim_pred
-            res.pred = res.bim_pred
+            res.provider_ctr = 0
+            res.provider_pred = False
+            res.provider_weak = False
+            res.alt_provider = -1
+            res.used_alt = False
+            res.alt_pred = bim_pred
+            res.pred = bim_pred
         return res
 
     def predict(self, pc: int) -> TageResult:

@@ -40,16 +40,20 @@ class TslConfig:
     name: str = "tsl"
 
 
-@dataclass
 class TslResult:
-    """Combined metadata from one TAGE-SC-L lookup."""
+    """Combined metadata from one TAGE-SC-L lookup (``__slots__``)."""
 
-    tage: TageResult
-    loop: Optional[LoopResult]
-    sc: Optional[ScResult]
-    base_pred: bool          # TAGE pred, possibly overridden by LLBP
-    base_overridden: bool    # True when an external provider overrode TAGE
-    pred: bool               # final prediction
+    __slots__ = ("tage", "loop", "sc", "base_pred", "base_overridden", "pred")
+
+    def __init__(self, tage: TageResult, loop: Optional[LoopResult],
+                 sc: Optional[ScResult], base_pred: bool,
+                 base_overridden: bool, pred: bool) -> None:
+        self.tage = tage
+        self.loop = loop
+        self.sc = sc
+        self.base_pred = base_pred            # TAGE pred, possibly overridden by LLBP
+        self.base_overridden = base_overridden  # an external provider overrode TAGE
+        self.pred = pred                      # final prediction
 
 
 class TageScL(BranchPredictor):
@@ -109,14 +113,8 @@ class TageScL(BranchPredictor):
             if loop_res.valid and self.loop.use_loop:
                 pred = loop_res.pred
 
-        return TslResult(
-            tage=tage_res,
-            loop=loop_res,
-            sc=sc_res,
-            base_pred=base_pred,
-            base_overridden=base_overridden,
-            pred=pred,
-        )
+        return TslResult(tage_res, loop_res, sc_res, base_pred,
+                         base_overridden, pred)
 
     def predict(self, pc: int) -> TslResult:
         self.stats.lookups += 1

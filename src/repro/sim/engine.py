@@ -4,11 +4,30 @@ Mirrors the paper's methodology (§VI): the predictor is warmed up on a
 prefix of the trace, then mispredictions are counted over the measured
 region.  Every branch — conditional or not — updates predictor history;
 only conditional branches are predicted and trained.
+
+The loop is the hottest code in the repository — every MPKI point in the
+evaluation is millions of trips through it — so :func:`run_simulation`
+specialises it instead of paying per-branch dispatch costs:
+
+* the warmup/measured split is computed once from the cumulative gap sum,
+  so the measured loops carry no per-branch "are we measuring yet" check;
+* perfect-predictor, per-PC-collection and ``advance`` handling are
+  hoisted into pre-selected loop variants instead of per-branch
+  ``isinstance``/``None`` tests;
+* records are consumed through :meth:`Trace.iter_tuples`, which iterates
+  chunked ``tolist()`` views of the numpy columns.
+
+:func:`run_simulation_reference` keeps the original generic loop as the
+oracle the equivalence tests compare against — the specialised variants
+must match it misprediction-for-misprediction.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.predictors.base import BranchPredictor
 from repro.predictors.perfect import PerfectPredictor
@@ -20,6 +39,118 @@ from repro.traces.trace import Trace
 DEFAULT_WARMUP_FRACTION = 1.0 / 3.0
 
 
+def _run_warmup(trace: Trace, stop: int, predict, train, update_history,
+                advance) -> None:
+    """Drive the predictor over records ``[0, stop)`` without counting."""
+    if advance is None:
+        for pc, btype, taken_i, target, gap in trace.iter_tuples(0, stop):
+            taken = taken_i == 1
+            if btype == 0:
+                train(pc, taken, predict(pc))
+            update_history(pc, btype, taken, target)
+    else:
+        for pc, btype, taken_i, target, gap in trace.iter_tuples(0, stop):
+            advance(gap)
+            taken = taken_i == 1
+            if btype == 0:
+                train(pc, taken, predict(pc))
+            update_history(pc, btype, taken, target)
+
+
+def _measure(rows, predict, train, update_history, advance) -> int:
+    """Measured-region loop: no per-PC collection.
+
+    Branch/conditional totals are derived from the trace columns by the
+    caller, so the loop counts only mispredictions.
+    """
+    mispredictions = 0
+    if advance is None:
+        for pc, btype, taken_i, target, gap in rows:
+            taken = taken_i == 1
+            if btype == 0:
+                meta = predict(pc)
+                if meta is True or meta is False:
+                    pred = meta
+                else:
+                    pred = meta.pred
+                if pred != taken:
+                    mispredictions += 1
+                train(pc, taken, meta)
+            update_history(pc, btype, taken, target)
+    else:
+        for pc, btype, taken_i, target, gap in rows:
+            advance(gap)
+            taken = taken_i == 1
+            if btype == 0:
+                meta = predict(pc)
+                if meta is True or meta is False:
+                    pred = meta
+                else:
+                    pred = meta.pred
+                if pred != taken:
+                    mispredictions += 1
+                train(pc, taken, meta)
+            update_history(pc, btype, taken, target)
+    return mispredictions
+
+
+def _measure_per_pc(rows, predict, train, update_history, advance,
+                    per_pc_misp: Dict[int, int],
+                    per_pc_exec: Dict[int, int]) -> int:
+    """Measured-region loop that also collects per-PC statistics."""
+    mispredictions = 0
+    exec_get = per_pc_exec.get
+    misp_get = per_pc_misp.get
+    if advance is None:
+        for pc, btype, taken_i, target, gap in rows:
+            taken = taken_i == 1
+            if btype == 0:
+                meta = predict(pc)
+                if meta is True or meta is False:
+                    pred = meta
+                else:
+                    pred = meta.pred
+                per_pc_exec[pc] = exec_get(pc, 0) + 1
+                if pred != taken:
+                    mispredictions += 1
+                    per_pc_misp[pc] = misp_get(pc, 0) + 1
+                train(pc, taken, meta)
+            update_history(pc, btype, taken, target)
+    else:
+        for pc, btype, taken_i, target, gap in rows:
+            advance(gap)
+            taken = taken_i == 1
+            if btype == 0:
+                meta = predict(pc)
+                if meta is True or meta is False:
+                    pred = meta
+                else:
+                    pred = meta.pred
+                per_pc_exec[pc] = exec_get(pc, 0) + 1
+                if pred != taken:
+                    mispredictions += 1
+                    per_pc_misp[pc] = misp_get(pc, 0) + 1
+                train(pc, taken, meta)
+            update_history(pc, btype, taken, target)
+    return mispredictions
+
+
+def _measure_perfect(rows, predict, train, update_history, advance,
+                     per_pc_exec: Optional[Dict[int, int]]) -> int:
+    """Measured-region loop for a perfect predictor (never mispredicts)."""
+    for pc, btype, taken_i, target, gap in rows:
+        if advance is not None:
+            advance(gap)
+        taken = taken_i == 1
+        if btype == 0:
+            meta = predict(pc)
+            if per_pc_exec is not None:
+                per_pc_exec[pc] = per_pc_exec.get(pc, 0) + 1
+            train(pc, taken, meta)
+        update_history(pc, btype, taken, target)
+    return 0
+
+
 def run_simulation(
     trace: Trace,
     predictor: BranchPredictor,
@@ -27,6 +158,91 @@ def run_simulation(
     collect_per_pc: bool = False,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return measured statistics."""
+    if warmup_instructions is None:
+        warmup_instructions = int(trace.num_instructions * DEFAULT_WARMUP_FRACTION)
+
+    n = len(trace)
+    if n:
+        cumulative = np.cumsum(trace.gaps, dtype=np.int64)
+        total_instructions = int(cumulative[-1])
+        # Record i is measured iff the instruction count *including* its
+        # gap exceeds the warmup budget (matches the reference loop's
+        # ``instructions > warmup_instructions`` test).
+        split = int(np.searchsorted(cumulative, warmup_instructions, side="right"))
+    else:
+        total_instructions = 0
+        split = 0
+
+    if n and split >= n:
+        warnings.warn(
+            f"warmup ({warmup_instructions} instructions) consumed the entire "
+            f"trace {trace.name!r} ({total_instructions} instructions); the "
+            "measured region is empty and all statistics will be zero",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    predict = predictor.predict
+    train = predictor.train
+    update_history = predictor.update_history
+    advance = getattr(predictor, "advance", None)
+
+    _run_warmup(trace, split, predict, train, update_history, advance)
+
+    per_pc_misp: Dict[int, int] = {}
+    per_pc_exec: Dict[int, int] = {}
+    rows = trace.iter_tuples(split, n)
+    if isinstance(predictor, PerfectPredictor):
+        mispredictions = _measure_perfect(
+            rows, predict, train, update_history, advance,
+            per_pc_exec if collect_per_pc else None)
+    elif collect_per_pc:
+        mispredictions = _measure_per_pc(
+            rows, predict, train, update_history, advance,
+            per_pc_misp, per_pc_exec)
+    else:
+        mispredictions = _measure(
+            rows, predict, train, update_history, advance)
+
+    # Totals the reference loop counts per-branch fall out of the columns.
+    branches = n - split
+    cond_branches = int((trace.types[split:] == 0).sum()) if split < n else 0
+
+    if split < n:
+        measured_instr_start = int(cumulative[split - 1]) if split else 0
+    else:
+        measured_instr_start = total_instructions
+
+    finalize = getattr(predictor, "finalize_stats", None)
+    if finalize is not None:
+        finalize()
+
+    return SimulationResult(
+        extra=dict(predictor.stats.extra),
+        workload=trace.name,
+        predictor=getattr(predictor, "name", type(predictor).__name__),
+        instructions=total_instructions - measured_instr_start,
+        warmup_instructions=measured_instr_start,
+        branches=branches,
+        cond_branches=cond_branches,
+        mispredictions=mispredictions,
+        per_pc_mispredictions=per_pc_misp,
+        per_pc_executions=per_pc_exec,
+    )
+
+
+def run_simulation_reference(
+    trace: Trace,
+    predictor: BranchPredictor,
+    warmup_instructions: Optional[int] = None,
+    collect_per_pc: bool = False,
+) -> SimulationResult:
+    """The original generic simulation loop, kept as a correctness oracle.
+
+    Slower than :func:`run_simulation` but with no loop specialisation at
+    all; the equivalence tests assert the two produce bit-identical
+    :class:`SimulationResult` values for every predictor family.
+    """
     if warmup_instructions is None:
         warmup_instructions = int(trace.num_instructions * DEFAULT_WARMUP_FRACTION)
 
@@ -41,8 +257,8 @@ def run_simulation(
     branches = 0
     cond_branches = 0
     mispredictions = 0
-    per_pc_misp = {}
-    per_pc_exec = {}
+    per_pc_misp: Dict[int, int] = {}
+    per_pc_exec: Dict[int, int] = {}
 
     for pc, btype, taken_i, target, gap in trace.iter_tuples():
         instructions += gap

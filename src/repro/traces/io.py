@@ -22,7 +22,10 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     """Write ``trace`` to ``path`` (created atomically via a temp file)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
+    # The temp name embeds the pid so concurrent writers (parallel
+    # experiment workers generating the same trace) never rename each
+    # other's in-progress file out from under the os.replace below.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     with open(tmp, "wb") as fh:
         np.savez_compressed(
             fh,

@@ -1,9 +1,11 @@
 """Experiment runner: predictor keys and result caching."""
 
+import dataclasses
+
 import pytest
 
-from repro.experiments.runner import get_result, resolve_predictor
-from repro.llbp.config import ContextSource
+from repro.experiments.runner import _parse_llbp_key, get_result, resolve_predictor
+from repro.llbp.config import ContextSource, LLBPConfig
 from repro.llbp.predictor import LLBPTageScL
 from repro.predictors.perfect import PerfectPredictor
 from repro.predictors.tage_sc_l import TageScL
@@ -51,6 +53,107 @@ class TestResolve:
             resolve_predictor("llbp:frobnicate")
         with pytest.raises(ValueError):
             resolve_predictor("llbp:zz=3")
+
+
+class TestParseLLBPKey:
+    """Every key-spec token maps to exactly one LLBPConfig field.
+
+    The specs round-trip through the figures' predictor keys and the
+    result-cache filenames, so each token's meaning is API surface.
+    """
+
+    def test_empty_spec_is_default(self):
+        assert _parse_llbp_key("") == LLBPConfig()
+
+    @pytest.mark.parametrize("token,field,value", [
+        ("lat0", "simulate_timing", False),
+        ("virt", "prefetch_latency_cycles", 16),
+        ("unbucketed", "bucketed", False),
+        ("lru", "cd_replacement", "lru"),
+        ("exclusive", "exclusive_provider_training", True),
+        ("frontend", "model_frontend_redirects", True),
+        ("noguard", "weak_override_guard", False),
+        ("w=24", "context_window", 24),
+        ("d=3", "prefetch_distance", 3),
+        ("src=uncond", "context_source", ContextSource.UNCONDITIONAL),
+        ("src=callret", "context_source", ContextSource.CALL_RET),
+        ("src=all", "context_source", ContextSource.ALL),
+        ("cd_bits=11", "cd_set_bits", 11),
+        ("pb=32", "pb_entries", 32),
+        ("lat=9", "prefetch_latency_cycles", 9),
+    ])
+    def test_single_token(self, token, field, value):
+        config = _parse_llbp_key(token)
+        assert getattr(config, field) == value
+        # Only the named field (and nothing else) deviates from default.
+        assert dataclasses.replace(config, **{field: getattr(LLBPConfig(), field)}) \
+            == LLBPConfig()
+
+    def test_ps_sets_patterns_per_set(self):
+        # ``ps`` needs ``unbucketed`` alongside: bucketed configs pin the
+        # pattern count to the slot-length list (LLBPConfig validates).
+        assert _parse_llbp_key("unbucketed,ps=48").patterns_per_set == 48
+        with pytest.raises(ValueError):
+            _parse_llbp_key("ps=48")
+
+    def test_tokens_compose(self):
+        config = _parse_llbp_key("lat0,unbucketed,cd_bits=10,ps=32")
+        assert not config.simulate_timing
+        assert not config.bucketed
+        assert config.cd_set_bits == 10
+        assert config.patterns_per_set == 32
+
+    def test_whitespace_and_empty_tokens_ignored(self):
+        assert _parse_llbp_key(" lat0 , ,w=16") == _parse_llbp_key("lat0,w=16")
+
+    @pytest.mark.parametrize("spec", ["bogus", "zz=3", "latency=4"])
+    def test_unknown_tokens_rejected(self, spec):
+        with pytest.raises(ValueError):
+            _parse_llbp_key(spec)
+
+
+class TestCacheRobustness:
+    def test_corrupt_cache_file_is_a_miss(self, isolated_caches):
+        from repro.experiments import runner
+
+        first = get_result("Kafka", "bimodal")
+        path = runner._cache_path("Kafka", 60_000, "bimodal")
+        assert path.exists()
+        path.write_text("{definitely not json")
+        runner.clear_memory_cache()
+        # The corrupt file must be silently recomputed, not crash the run.
+        assert get_result("Kafka", "bimodal") == first
+        # ...and the recompute rewrote a loadable file.
+        runner.clear_memory_cache()
+        assert runner.peek_result("Kafka", "bimodal") == first
+
+    def test_cache_file_missing_fields_is_a_miss(self, isolated_caches):
+        from repro.experiments import runner
+
+        first = get_result("Kafka", "bimodal")
+        path = runner._cache_path("Kafka", 60_000, "bimodal")
+        path.write_text('{"workload": "Kafka"}')
+        runner.clear_memory_cache()
+        assert get_result("Kafka", "bimodal") == first
+
+    def test_writes_are_atomic_no_temp_droppings(self, isolated_caches):
+        from repro.experiments import runner
+
+        get_result("Kafka", "bimodal")
+        get_result("Kafka", "gshare")
+        leftovers = list(runner._cache_dir().glob("*.tmp"))
+        assert leftovers == []
+
+    def test_peek_does_not_simulate(self, isolated_caches):
+        from repro.experiments import runner
+
+        assert runner.peek_result("Kafka", "bimodal") is None
+        first = get_result("Kafka", "bimodal")
+        runner.clear_memory_cache()
+        assert runner.peek_result("Kafka", "bimodal") == first
+        # The disk hit is promoted into the memory cache.
+        assert runner.peek_result("Kafka", "bimodal") is \
+            runner.peek_result("Kafka", "bimodal")
 
 
 class TestGetResult:

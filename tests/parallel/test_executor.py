@@ -1,0 +1,105 @@
+"""Parallel executor: bit-identical to the serial runner, cache-aware.
+
+The correctness bar for ``repro.parallel`` is strict equality: fanning a
+batch of jobs across worker processes must produce *exactly* the
+``SimulationResult`` values the serial ``get_result`` path computes,
+because figures generated with ``--jobs N`` must match figures generated
+serially to the last misprediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parallel
+from repro.experiments import runner
+
+KEYS = ("bimodal", "gshare", "tsl64")
+
+
+@pytest.fixture(autouse=True)
+def teardown_pool():
+    yield
+    parallel.shutdown()
+
+
+class TestJobConstruction:
+    def test_make_jobs_resolves_experiment_budget(self, isolated_caches):
+        jobs = parallel.make_jobs([("Kafka", "bimodal")])
+        assert jobs == [parallel.SimJob("Kafka", "bimodal", 60_000)]
+
+    def test_make_jobs_explicit_instructions(self, isolated_caches):
+        (job,) = parallel.make_jobs([("Kafka", "bimodal")], instructions=123)
+        assert job.instructions == 123
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert parallel.default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert parallel.default_jobs() == 1
+
+
+class TestRunJobs:
+    def test_parallel_matches_serial(self, isolated_caches, monkeypatch):
+        """Worker-computed results equal serial results, field for field."""
+        jobs = parallel.make_jobs([("Kafka", key) for key in KEYS])
+        by_job = parallel.run_jobs(jobs, max_workers=2)
+        assert set(by_job) == set(jobs)
+
+        # Recompute everything serially with caching off, so nothing the
+        # workers wrote can leak into the comparison baseline.
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        runner.clear_memory_cache()
+        for job in jobs:
+            serial = runner.get_result(job.workload, job.key, job.instructions)
+            assert serial == by_job[job]
+
+    def test_duplicate_jobs_run_once(self, isolated_caches, monkeypatch):
+        calls = []
+        real = runner.get_result
+
+        def counting(workload, key, instructions=None):
+            calls.append((workload, key))
+            return real(workload, key, instructions)
+
+        monkeypatch.setattr(runner, "get_result", counting)
+        jobs = parallel.make_jobs(
+            [("Kafka", "bimodal")] * 3 + [("Kafka", "gshare")])
+        by_job = parallel.run_jobs(jobs, max_workers=1)
+        assert len(calls) == 2  # deduplicated before dispatch
+        assert len(by_job) == 2  # dict keyed by unique job
+
+    def test_cached_jobs_skip_dispatch(self, isolated_caches, monkeypatch):
+        expected = runner.get_result("Kafka", "bimodal")
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cached job reached the runner")
+
+        monkeypatch.setattr(runner, "get_result", explode)
+        (job,) = parallel.make_jobs([("Kafka", "bimodal")])
+        assert parallel.run_jobs([job], max_workers=2)[job] == expected
+
+    def test_disk_cache_answers_fresh_process_state(self, isolated_caches):
+        """A result cached on disk is found without re-simulation."""
+        expected = runner.get_result("Kafka", "bimodal")
+        runner.clear_memory_cache()
+        (job,) = parallel.make_jobs([("Kafka", "bimodal")])
+        assert parallel.run_jobs([job], max_workers=2)[job] == expected
+
+    def test_results_seed_parent_memory_cache(self, isolated_caches):
+        jobs = parallel.make_jobs([("Kafka", "bimodal"), ("Kafka", "gshare")])
+        by_job = parallel.run_jobs(jobs, max_workers=2)
+        for job in jobs:
+            # ``is`` — get_result must hit the seeded memory cache, not
+            # re-read the disk file (let alone re-simulate).
+            assert runner.get_result(job.workload, job.key,
+                                     job.instructions) is by_job[job]
+
+
+class TestRunMany:
+    def test_run_many_matches_get_result(self, isolated_caches):
+        pairs = [("Kafka", "bimodal"), ("Kafka", "gshare")]
+        results = runner.run_many(pairs, max_workers=1)
+        assert set(results) == set(pairs)
+        for workload, key in pairs:
+            assert results[(workload, key)] == runner.get_result(workload, key)

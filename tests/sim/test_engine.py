@@ -1,9 +1,13 @@
 """Trace-driven simulation engine."""
 
+import warnings
+
+import pytest
+
 from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import Bimodal
 from repro.predictors.perfect import PerfectPredictor
-from repro.sim.engine import run_simulation
+from repro.sim.engine import run_simulation, run_simulation_reference
 from repro.traces.trace import TraceBuilder
 from repro.traces.types import BranchType
 
@@ -96,3 +100,45 @@ def test_bimodal_end_to_end():
     result = run_simulation(make_trace(), Bimodal(), warmup_instructions=0)
     assert result.cond_branches > 0
     assert 0 <= result.accuracy <= 1
+
+
+def test_warmup_consuming_whole_trace_warns():
+    """Regression: a warmup budget >= the trace length used to yield an
+    all-zero result silently; it must now warn that nothing was measured."""
+    trace = make_trace(n=20)
+    with pytest.warns(RuntimeWarning, match="consumed the entire"):
+        result = run_simulation(trace, CountingPredictor(),
+                                warmup_instructions=trace.num_instructions)
+    assert result.branches == 0
+    assert result.cond_branches == 0
+    assert result.mispredictions == 0
+
+
+def test_normal_warmup_does_not_warn():
+    trace = make_trace(n=20)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        run_simulation(trace, CountingPredictor())
+
+
+@pytest.mark.parametrize("key", [
+    "bimodal", "gshare", "tsl64", "llbp", "perfect",
+])
+def test_specialized_loops_match_reference(tiny_workload_trace, key):
+    """The specialized measurement loops are an optimization only: every
+    predictor family must produce a bit-identical SimulationResult to the
+    generic reference loop, including per-PC counters and extra stats."""
+    from repro.experiments.runner import resolve_predictor
+
+    fast = run_simulation(tiny_workload_trace, resolve_predictor(key),
+                          collect_per_pc=True)
+    slow = run_simulation_reference(tiny_workload_trace,
+                                    resolve_predictor(key),
+                                    collect_per_pc=True)
+    assert fast == slow
+
+
+def test_specialized_loop_matches_reference_without_per_pc():
+    fast = run_simulation(make_trace(), Bimodal())
+    slow = run_simulation_reference(make_trace(), Bimodal())
+    assert fast == slow
