@@ -3,12 +3,18 @@
 Usage::
 
     python -m repro.experiments [fig01 fig02 ... table3] [--jobs N]
+                                [--telemetry [DIR]]
 
 With no experiment names every experiment runs (simulation results are
 cached, so reruns are cheap).  ``--jobs`` controls how many worker
 processes prewarm the result cache before the (serial) formatting pass;
 it defaults to the CPU count, or REPRO_JOBS when set.  Honours
 REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
+
+``--telemetry [DIR]`` (or ``REPRO_TELEMETRY=DIR``) records structured
+events — per-figure timings, simulation phases, cache hits, worker
+activity — as JSONL under ``DIR`` (default ``telemetry/``); summarize
+them afterwards with ``python scripts/report.py DIR``.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ import argparse
 import sys
 import time
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.experiments import (
     fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
     fig15, tables,
@@ -85,6 +91,10 @@ def main(argv) -> int:
                         help="worker processes for the simulation prewarm "
                              "(default: REPRO_JOBS or the CPU count; "
                              "1 disables the pool)")
+    parser.add_argument("--telemetry", nargs="?", const="telemetry",
+                        default=None, metavar="DIR",
+                        help="record structured run telemetry as JSONL "
+                             "under DIR (default: ./telemetry)")
     args = parser.parse_args(argv)
 
     names = args.names or list(_EXPERIMENTS)
@@ -93,19 +103,38 @@ def main(argv) -> int:
         print(f"unknown experiments: {unknown}; known: {list(_EXPERIMENTS)}")
         return 2
 
+    if args.telemetry is not None:
+        # Via the environment, so prewarm workers inherit it.
+        telemetry.configure(args.telemetry)
+
     workers = args.jobs if args.jobs is not None else parallel.default_jobs()
     if workers > 1:
-        _prewarm(names, workers)
+        with telemetry.phase("experiment.prewarm", experiments=names,
+                             workers=workers):
+            _prewarm(names, workers)
 
     try:
-        for name in names:
+        run_start = time.time()
+        for i, name in enumerate(names):
             title, runner, _ = _EXPERIMENTS[name]
+            # Heartbeat *before* each experiment: a consumer tailing the
+            # JSONL sees progress even while a long figure is running.
+            telemetry.emit("experiment.heartbeat", completed=i,
+                           total=len(names), current=name)
             start = time.time()
             body = runner()
-            print(f"\n=== {title} ({time.time() - start:.1f}s) ===")
+            elapsed = time.time() - start
+            telemetry.emit("experiment.figure", name=name, title=title,
+                           seconds=elapsed)
+            print(f"\n=== {title} ({elapsed:.1f}s) ===")
             print(body)
+        telemetry.emit("experiment.run", experiments=names,
+                       seconds=time.time() - run_start)
     finally:
         parallel.shutdown()
+        if args.telemetry is not None:
+            print(f"\n[telemetry] events in {args.telemetry}/ — summarize "
+                  f"with: python scripts/report.py {args.telemetry}")
     return 0
 
 

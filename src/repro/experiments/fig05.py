@@ -7,7 +7,7 @@ pattern space by orders of magnitude.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.contexts import patterns_per_context_study
 from repro.experiments.common import experiment_instructions, format_table

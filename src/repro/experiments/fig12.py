@@ -38,7 +38,6 @@ def run(workloads: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
             "64KiB TSL": baseline,
             "512KiB TAGE": scaled,
         }
-        predictions = 1
         for entries in PB_SIZES:
             key = "llbp" if entries == 64 else f"llbp:pb={entries}"
             result = get_result(workload, key)

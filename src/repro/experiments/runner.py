@@ -22,9 +22,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from repro import telemetry
 from repro.llbp.config import ContextSource, LLBPConfig
 from repro.llbp.predictor import LLBPTageScL
 from repro.predictors.base import BranchPredictor
@@ -36,7 +38,7 @@ from repro.sim.engine import run_simulation
 from repro.sim.results import SimulationResult
 from repro.workloads.catalog import generate_workload
 
-RESULTS_VERSION = 5
+RESULTS_VERSION = 6  # v6: prefetch_delivered joined SimulationResult.extra
 
 _SIMPLE_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
     "bimodal": Bimodal,
@@ -224,12 +226,16 @@ def peek_result(workload: str, key: str,
     memo = (workload, key, instructions)
     cached = _memory_cache.get(memo)
     if cached is not None:
+        telemetry.emit("runner.result", workload=workload, key=key,
+                       instructions=instructions, source="memory")
         return cached
     if not _cache_enabled():
         return None
     result = _read_cache(_cache_path(workload, instructions, key))
     if result is not None:
         _memory_cache[memo] = result
+        telemetry.emit("runner.result", workload=workload, key=key,
+                       instructions=instructions, source="disk")
     return result
 
 
@@ -248,9 +254,13 @@ def get_result(workload: str, key: str,
     if cached is not None:
         return cached
 
+    start = time.perf_counter() if telemetry.enabled() else 0.0
     trace = generate_workload(workload, instructions)
     predictor = resolve_predictor(key)
     result = run_simulation(trace, predictor, collect_per_pc=True)
+    telemetry.emit("runner.result", workload=workload, key=key,
+                   instructions=instructions, source="simulated",
+                   seconds=time.perf_counter() - start)
 
     if _cache_enabled():
         _write_cache(_cache_path(workload, instructions, key), result)

@@ -10,14 +10,10 @@ same CAPACITY_SCALE as the baseline predictors (paper: 14K sets / 512KB).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
-from repro.predictors.presets import (
-    CAPACITY_SCALE,
-    LLBP_HISTORY_LENGTHS,
-    TAGE_HISTORY_LENGTHS,
-)
+from repro.predictors.presets import TAGE_HISTORY_LENGTHS
 
 #: The 16 history-length slots of a pattern set (§VI).  Four lengths appear
 #: twice ("starred"): same length, different hash salt.

@@ -16,7 +16,7 @@ appearing twice with a modified hash ("starred" lengths).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 @dataclass

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import telemetry
 from repro.common.rng import XorShift32
 from repro.llbp.config import LLBPConfig
 from repro.llbp.pattern import PatternSet
@@ -377,5 +378,18 @@ class LLBPTageScL(BranchPredictor):
         extra.update(self.access_counts())
         extra.update(self.bandwidth_bits())
         extra["prefetch_issued"] = self.prefetcher.issued
+        extra["prefetch_delivered"] = self.prefetcher.delivered
         extra["prefetch_squashed"] = self.prefetcher.squashed
         extra["cd_occupancy_pct"] = int(100 * self.directory.occupancy())
+        # Surface the structure counters the figures never print —
+        # pattern-buffer hit rate and prefetch timeliness — through the
+        # telemetry stream (no-op unless REPRO_TELEMETRY is set).
+        telemetry.emit(
+            "llbp.counters", predictor=self.name,
+            pb_hits=self.buffer.hits, pb_misses=self.buffer.misses,
+            fills=self.buffer.fills, writebacks=self.buffer.writebacks,
+            prefetch_issued=self.prefetcher.issued,
+            prefetch_delivered=self.prefetcher.delivered,
+            prefetch_squashed=self.prefetcher.squashed,
+            prefetch_directory_misses=self.prefetcher.directory_misses,
+            cd_occupancy_pct=extra["cd_occupancy_pct"])

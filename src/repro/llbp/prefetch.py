@@ -28,6 +28,7 @@ class PrefetchEngine:
         self.buffer = buffer
         self._inflight: List[Tuple[int, int]] = []  # (arrival_instr, cid)
         self.issued = 0
+        self.delivered = 0
         self.directory_misses = 0
         self.squashed = 0
 
@@ -58,6 +59,9 @@ class PrefetchEngine:
         ps = self.directory.lookup(cid)
         if ps is not None and cid not in self.buffer:
             self.buffer.fill(cid, ps, self.directory)
+            # Timeliness numerator: issues that actually landed in the PB
+            # (vs. squashed in flight or evicted/superseded on arrival).
+            self.delivered += 1
 
     def squash(self) -> None:
         """Drop all in-flight prefetches (pipeline reset, §V-C)."""

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.sim.results import SimulationResult
 
 
@@ -38,12 +41,39 @@ class SimJob(NamedTuple):
     instructions: int
 
 
+def _worker_count(env: str) -> Optional[int]:
+    """Parse a ``REPRO_JOBS`` value; ``None`` means "use the CPU count".
+
+    The variable is user input that reaches this code deep inside a run
+    (possibly inside a worker), so a malformed value must degrade, not
+    raise: anything non-integer or non-positive warns and falls back.
+    """
+    env = env.strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        warnings.warn(
+            f"REPRO_JOBS={env!r} is not an integer; "
+            "falling back to the CPU count",
+            RuntimeWarning, stacklevel=3)
+        return None
+    if value <= 0:
+        warnings.warn(
+            f"REPRO_JOBS={value} is not positive; "
+            "falling back to the CPU count",
+            RuntimeWarning, stacklevel=3)
+        return None
+    return value
+
+
 def default_jobs() -> int:
-    """Worker count: REPRO_JOBS if set, else the machine's CPU count."""
-    env = os.environ.get("REPRO_JOBS", "").strip()
-    if env:
-        return max(1, int(env))
-    return os.cpu_count() or 1
+    """Worker count: REPRO_JOBS if set and valid, else the CPU count."""
+    count = _worker_count(os.environ.get("REPRO_JOBS", ""))
+    if count is None:
+        return os.cpu_count() or 1
+    return count
 
 
 def make_jobs(pairs: Iterable[Tuple[str, str]],
@@ -60,11 +90,21 @@ def _simulate(job: SimJob) -> SimulationResult:
     """Worker entry point: run the cached runner for one job.
 
     Module-level so it pickles; imports stay inside so the worker pays
-    for them once, after the fork/spawn.
+    for them once, after the fork/spawn.  Workers inherit
+    ``REPRO_TELEMETRY`` with the rest of the environment and write their
+    events to their own per-pid JSONL file, which is what makes per-job
+    wall time and worker utilization reportable after the run.
     """
     from repro.experiments import runner
 
-    return runner.get_result(job.workload, job.key, job.instructions)
+    if not telemetry.enabled():
+        return runner.get_result(job.workload, job.key, job.instructions)
+    start = time.perf_counter()
+    result = runner.get_result(job.workload, job.key, job.instructions)
+    telemetry.emit("parallel.job", workload=job.workload, key=job.key,
+                   instructions=job.instructions,
+                   seconds=time.perf_counter() - start)
+    return result
 
 
 # One pool per process, plus the jobs currently submitted to it.  The
@@ -111,6 +151,17 @@ def run_jobs(jobs: Sequence[SimJob],
     if max_workers is None:
         max_workers = default_jobs()
 
+    telemetry_on = telemetry.enabled()
+    batch_start = time.perf_counter() if telemetry_on else 0.0
+
+    def emit_batch(pending: int, dispatched: int, workers: int) -> None:
+        if telemetry_on:
+            telemetry.emit(
+                "parallel.run_jobs", requested=len(jobs), unique=len(unique),
+                cache_hits=len(unique) - pending,
+                coalesced=pending - dispatched, dispatched=dispatched,
+                workers=workers, seconds=time.perf_counter() - batch_start)
+
     unique: List[SimJob] = list(dict.fromkeys(jobs))
     results: Dict[SimJob, SimulationResult] = {}
 
@@ -125,19 +176,23 @@ def run_jobs(jobs: Sequence[SimJob],
             pending.append(job)
 
     if not pending:
+        emit_batch(pending=0, dispatched=0, workers=0)
         return {job: results[job] for job in jobs}
 
     if max_workers <= 1 or len(pending) == 1:
         # Serial fallback: no pool spin-up for a single miss or -j 1.
+        # _simulate emits the per-job telemetry here too — the "worker"
+        # is simply this process.
         for job in pending:
-            results[job] = runner.get_result(job.workload, job.key,
-                                             job.instructions)
+            results[job] = _simulate(job)
+        emit_batch(pending=len(pending), dispatched=len(pending), workers=1)
         return {job: results[job] for job in jobs}
 
     futures: Dict[SimJob, Future] = {}
     owned: List[SimJob] = []
     with _lock:
-        pool = _get_pool(min(max_workers, len(pending)))
+        workers = min(max_workers, len(pending))
+        pool = _get_pool(workers)
         for job in pending:
             future = _inflight.get(job)
             if future is None:
@@ -160,4 +215,5 @@ def run_jobs(jobs: Sequence[SimJob],
                 if _inflight.get(job) is futures.get(job):
                     del _inflight[job]
 
+    emit_batch(pending=len(pending), dispatched=len(owned), workers=workers)
     return {job: results[job] for job in jobs}

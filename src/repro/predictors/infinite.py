@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.common.rng import XorShift32
-from repro.predictors.history import GlobalHistory, HistorySet
+from repro.predictors.history import GlobalHistory
 from repro.predictors.tage import Tage, TageConfig, TageResult
 
 # A pattern's identity: (table, index, tag, pc).

@@ -14,7 +14,7 @@ history length) can interpose between prediction and training.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.rng import XorShift32
 from repro.predictors.base import BranchPredictor

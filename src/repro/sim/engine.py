@@ -24,11 +24,13 @@ must match it misprediction-for-misprediction.
 
 from __future__ import annotations
 
+import time
 import warnings
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.predictors.base import BranchPredictor
 from repro.predictors.perfect import PerfectPredictor
 from repro.sim.results import SimulationResult
@@ -186,8 +188,23 @@ def run_simulation(
     train = predictor.train
     update_history = predictor.update_history
     advance = getattr(predictor, "advance", None)
+    predictor_name = getattr(predictor, "name", type(predictor).__name__)
+
+    # Telemetry is phase-grained by design: one enabled-check and two
+    # events per simulation, zero additions to the per-branch loops.
+    telemetry_on = telemetry.enabled()
+    phase_start = time.perf_counter() if telemetry_on else 0.0
 
     _run_warmup(trace, split, predict, train, update_history, advance)
+
+    if telemetry_on:
+        now = time.perf_counter()
+        warmup_seconds = now - phase_start
+        telemetry.emit(
+            "sim.phase", phase="warmup", workload=trace.name,
+            predictor=predictor_name, branches=split,
+            instructions=warmup_instructions, seconds=warmup_seconds)
+        phase_start = now
 
     per_pc_misp: Dict[int, int] = {}
     per_pc_exec: Dict[int, int] = {}
@@ -203,6 +220,18 @@ def run_simulation(
     else:
         mispredictions = _measure(
             rows, predict, train, update_history, advance)
+
+    if telemetry_on:
+        measure_seconds = time.perf_counter() - phase_start
+        telemetry.emit(
+            "sim.phase", phase="measure", workload=trace.name,
+            predictor=predictor_name, branches=n - split,
+            mispredictions=mispredictions, seconds=measure_seconds)
+        telemetry.emit(
+            "sim.run", workload=trace.name, predictor=predictor_name,
+            branches=n, instructions=total_instructions,
+            mispredictions=mispredictions,
+            seconds=warmup_seconds + measure_seconds)
 
     # Totals the reference loop counts per-branch fall out of the columns.
     branches = n - split
@@ -220,7 +249,7 @@ def run_simulation(
     return SimulationResult(
         extra=dict(predictor.stats.extra),
         workload=trace.name,
-        predictor=getattr(predictor, "name", type(predictor).__name__),
+        predictor=predictor_name,
         instructions=total_instructions - measured_instr_start,
         warmup_instructions=measured_instr_start,
         branches=branches,

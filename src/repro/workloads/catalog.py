@@ -16,9 +16,11 @@ so the benchmark harness can share generation work across figures.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.traces.io import load_trace, save_trace
 from repro.traces.trace import Trace
 from repro.workloads.builder import WorkloadSpec, build_program
@@ -162,9 +164,14 @@ def generate_workload(
         directory = cache_dir if cache_dir is not None else _cache_dir()
         cache_path = directory / f"{name}-s{spec.seed}-i{instructions}-v4.npz"
         if cache_path.exists():
+            telemetry.emit("trace.cache", workload=name,
+                           instructions=instructions, hit=True)
             return load_trace(cache_path)
+    start = time.perf_counter() if telemetry.enabled() else 0.0
     program = build_program(spec)
     trace = generate_trace(program, instructions, seed=spec.seed, name=name)
+    telemetry.emit("trace.cache", workload=name, instructions=instructions,
+                   hit=False, seconds=time.perf_counter() - start)
     if cache_path is not None:
         save_trace(trace, cache_path)
     return trace

@@ -20,7 +20,6 @@ from repro.workloads.program import (
     CallStmt,
     ComputeStmt,
     CondStmt,
-    Function,
     IfStmt,
     JumpStmt,
     LoopStmt,

@@ -54,7 +54,6 @@ def test_llbp_improves_baseline(results):
 
 def test_llbp_between_baseline_and_512k(results):
     """Fig 9's headline shape: 0 < LLBP gain < 512K-TSL gain."""
-    base = results["64k"].mpki
     llbp_red = results["llbp0"].mpki_reduction_vs(results["64k"])
     big_red = results["512k"].mpki_reduction_vs(results["64k"])
     assert 0 < llbp_red < big_red

@@ -1,7 +1,5 @@
 """Cross-module invariants on real generated traces."""
 
-import pytest
-
 from repro.experiments.runner import resolve_predictor
 from repro.predictors.presets import tsl_64k
 from repro.sim.engine import run_simulation

@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro.llbp.config import LLBPConfig
 from repro.llbp.predictor import LLBPTageScL
 from repro.predictors.presets import TAGE_HISTORY_LENGTHS, tsl_64k

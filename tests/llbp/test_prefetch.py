@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro.llbp.config import LLBPConfig
 from repro.llbp.pattern_buffer import PatternBuffer
 from repro.llbp.prefetch import PrefetchEngine

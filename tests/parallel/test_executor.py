@@ -35,8 +35,28 @@ class TestJobConstruction:
     def test_default_jobs_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert parallel.default_jobs() == 3
-        monkeypatch.setenv("REPRO_JOBS", "0")
-        assert parallel.default_jobs() == 1
+
+    def test_default_jobs_unset_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        import os
+
+        assert parallel.default_jobs() == (os.cpu_count() or 1)
+
+    def test_non_integer_repro_jobs_warns_and_falls_back(self, monkeypatch):
+        """A typo'd REPRO_JOBS must not raise deep inside the executor."""
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "four")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert parallel.default_jobs() == (os.cpu_count() or 1)
+
+    def test_non_positive_repro_jobs_warns_and_falls_back(self, monkeypatch):
+        import os
+
+        for bad in ("0", "-2"):
+            monkeypatch.setenv("REPRO_JOBS", bad)
+            with pytest.warns(RuntimeWarning, match="not positive"):
+                assert parallel.default_jobs() == (os.cpu_count() or 1)
 
 
 class TestRunJobs:

@@ -4,8 +4,6 @@ import pytest
 
 from repro.predictors.gshare import GShare
 from repro.sim.engine import run_simulation
-from repro.traces.trace import TraceBuilder
-from repro.traces.types import BranchType
 
 
 def test_learns_history_correlation():

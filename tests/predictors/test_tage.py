@@ -4,8 +4,6 @@ import pytest
 
 from repro.predictors.tage import Tage, TageConfig
 from repro.sim.engine import run_simulation
-from repro.traces.trace import TraceBuilder
-from repro.traces.types import BranchType
 
 
 def small_config(**overrides):

@@ -1,8 +1,5 @@
 """Composed TAGE-SC-L."""
 
-import pytest
-
-from repro.predictors.presets import tage_config_64k
 from repro.predictors.tage_sc_l import TageScL, TslConfig
 from repro.sim.engine import run_simulation
 

@@ -53,14 +53,18 @@ class TestExecContext:
 
     def test_path_depends_on_order(self):
         a, b = fresh_ctx(), fresh_ctx()
-        a.push_call(1); a.push_call(2)
-        b.push_call(2); b.push_call(1)
+        a.push_call(1)
+        a.push_call(2)
+        b.push_call(2)
+        b.push_call(1)
         assert a.path_hash != b.path_hash
 
     def test_partial_path_ignores_deep_frames(self):
         a, b = fresh_ctx(), fresh_ctx()
-        a.push_call(1); a.push_call(7); a.push_call(8)
-        b.push_call(2); b.push_call(7); b.push_call(8)
+        for ctx, leaf in ((a, 1), (b, 2)):
+            ctx.push_call(leaf)
+            ctx.push_call(7)
+            ctx.push_call(8)
         assert a.partial_path(2) == b.partial_path(2)
         assert a.partial_path(3) != b.partial_path(3)
         assert a.path_hash != b.path_hash
@@ -145,7 +149,8 @@ class TestContextCorrelated:
         b = ContextCorrelatedBehavior(local_bits=2)
         a, c = fresh_ctx(), fresh_ctx(99)
         for ctx in (a, c):
-            ctx.push_call(4); ctx.push_call(9)
+            ctx.push_call(4)
+            ctx.push_call(9)
             ctx.global_hist = 0b01
         assert b.evaluate(7, a) == b.evaluate(7, c)
 
@@ -154,7 +159,8 @@ class TestContextCorrelated:
         outcomes = set()
         for leaf in range(30):
             ctx = fresh_ctx()
-            ctx.push_call(leaf); ctx.push_call(1)
+            ctx.push_call(leaf)
+            ctx.push_call(1)
             outcomes.add(b.evaluate(7, ctx))
         assert outcomes == {True, False}
 
@@ -171,8 +177,10 @@ class TestContextCorrelated:
     def test_path_depth_limits_sensitivity(self):
         b = ContextCorrelatedBehavior(local_bits=1, path_depth=2)
         a, c = fresh_ctx(), fresh_ctx()
-        a.push_call(1); a.push_call(5); a.push_call(6)
-        c.push_call(2); c.push_call(5); c.push_call(6)
+        for ctx, leaf in ((a, 1), (c, 2)):
+            ctx.push_call(leaf)
+            ctx.push_call(5)
+            ctx.push_call(6)
         assert b.evaluate(7, a) == b.evaluate(7, c)
 
     def test_invalid(self):
