@@ -13,6 +13,12 @@ human-readable report: per-phase simulation timings and branches/sec,
 result/trace cache hit rates, parallel worker utilization, LLBP
 pattern-buffer and prefetch counters, and per-figure wall clock.
 
+A bumpy run additionally gets a ``robustness`` section: retries by
+error kind (with total backoff time), job timeouts, workers lost, pool
+rebuilds, degradation to serial, injected chaos faults, corrupt cache
+entries re-run, and ``--resume`` accounting (how many simulations the
+checkpoint journal let the run skip).  A clean run omits the section.
+
 ``-o`` additionally writes the machine-readable summary JSON — the
 artifact CI uploads and later runs can diff against.
 """

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.experiments [fig01 fig02 ... table3] [--jobs N]
-                                [--telemetry [DIR]]
+                                [--telemetry [DIR]] [--resume]
+                                [--retries N] [--job-timeout S]
 
 With no experiment names every experiment runs (simulation results are
 cached, so reruns are cheap).  ``--jobs`` controls how many worker
@@ -11,15 +12,25 @@ processes prewarm the result cache before the (serial) formatting pass;
 it defaults to the CPU count, or REPRO_JOBS when set.  Honours
 REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
 
+The run is fault-tolerant: failed simulations retry with backoff
+(``--retries`` / REPRO_RETRIES), hung workers are killed after
+``--job-timeout`` seconds (REPRO_JOB_TIMEOUT) and their pool rebuilt,
+and completed jobs are checkpointed to a journal next to the result
+cache.  After a crash or Ctrl-C, ``--resume`` re-executes only the
+unfinished jobs — and re-runs any cached result whose bytes no longer
+match the digest the journal recorded.
+
 ``--telemetry [DIR]`` (or ``REPRO_TELEMETRY=DIR``) records structured
 events — per-figure timings, simulation phases, cache hits, worker
-activity — as JSONL under ``DIR`` (default ``telemetry/``); summarize
-them afterwards with ``python scripts/report.py DIR``.
+activity, retry/timeout/resume accounting — as JSONL under ``DIR``
+(default ``telemetry/``); summarize them afterwards with
+``python scripts/report.py DIR``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -28,6 +39,8 @@ from repro.experiments import (
     fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
     fig15, tables,
 )
+from repro.experiments.journal import RunJournal
+from repro.parallel.retry import RetryPolicy
 
 _EXPERIMENTS = {
     "table1": ("Table I — workloads",
@@ -61,11 +74,14 @@ _EXPERIMENTS = {
 }
 
 
-def _prewarm(names, workers: int) -> None:
+def _prewarm(names, workers: int, policy: RetryPolicy,
+             journal: RunJournal, resume: bool) -> None:
     """Fan every named experiment's simulations across worker processes.
 
     The experiments themselves then run serially against a warm cache,
     so their output (and ordering) is unchanged from a serial run.
+    With ``resume``, jobs the journal already records as complete are
+    served from cache (after digest verification) instead of re-run.
     """
     pairs = []
     for name in names:
@@ -73,12 +89,22 @@ def _prewarm(names, workers: int) -> None:
         if manifest is not None:
             pairs.extend(manifest())
     jobs = parallel.make_jobs(pairs)
-    if len(set(jobs)) < 2:
+    unique = list(dict.fromkeys(jobs))
+    if resume:
+        journaled = sum(1 for job in unique if tuple(job) in journal)
+        telemetry.emit("experiment.resume", journaled=journaled,
+                       total=len(unique), journal=str(journal.path))
+        if journaled:
+            print(f"[resume] journal {journal.path}: {journaled}/"
+                  f"{len(unique)} simulations already complete")
+    if not unique:
         return
     start = time.time()
-    parallel.run_jobs(jobs, max_workers=workers)
-    print(f"[prewarm] {len(set(jobs))} simulations with {workers} workers "
-          f"({time.time() - start:.1f}s)")
+    parallel.run_jobs(jobs, max_workers=workers, policy=policy,
+                      journal=journal)
+    if workers > 1:
+        print(f"[prewarm] {len(unique)} simulations with {workers} workers "
+              f"({time.time() - start:.1f}s)")
 
 
 def main(argv) -> int:
@@ -95,6 +121,19 @@ def main(argv) -> int:
                         default=None, metavar="DIR",
                         help="record structured run telemetry as JSONL "
                              "under DIR (default: ./telemetry)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an interrupted run: skip every "
+                             "simulation the checkpoint journal records "
+                             "as complete (and whose cached result still "
+                             "matches its digest)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="attempts per simulation before giving up "
+                             "(default: REPRO_RETRIES or 3)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any simulation running longer "
+                             "than this (default: REPRO_JOB_TIMEOUT or "
+                             "no timeout)")
     args = parser.parse_args(argv)
 
     names = args.names or list(_EXPERIMENTS)
@@ -107,13 +146,27 @@ def main(argv) -> int:
         # Via the environment, so prewarm workers inherit it.
         telemetry.configure(args.telemetry)
 
+    policy = RetryPolicy.from_env()
+    overrides = {}
+    if args.retries is not None:
+        overrides["max_attempts"] = max(1, args.retries)
+    if args.job_timeout is not None:
+        overrides["timeout"] = (args.job_timeout
+                                if args.job_timeout > 0 else None)
+    if overrides:
+        policy = dataclasses.replace(policy, **overrides)
+
+    journal = RunJournal.open(resume=args.resume)
     workers = args.jobs if args.jobs is not None else parallel.default_jobs()
-    if workers > 1:
+    interrupted = False
+    try:
+        # Even a serial run goes through the prewarm pass: it is the
+        # only path that records completions to the journal and
+        # re-verifies cached results against their journalled digests.
         with telemetry.phase("experiment.prewarm", experiments=names,
                              workers=workers):
-            _prewarm(names, workers)
+            _prewarm(names, workers, policy, journal, args.resume)
 
-    try:
         run_start = time.time()
         for i, name in enumerate(names):
             title, runner, _ = _EXPERIMENTS[name]
@@ -130,12 +183,20 @@ def main(argv) -> int:
             print(body)
         telemetry.emit("experiment.run", experiments=names,
                        seconds=time.time() - run_start)
+    except KeyboardInterrupt:
+        interrupted = True
+        telemetry.emit("experiment.interrupted", journaled=len(journal),
+                       journal=str(journal.path))
+        print(f"\ninterrupted — completed work is journalled in "
+              f"{journal.path};\nresume with: python -m repro.experiments "
+              f"--resume " + " ".join(args.names), file=sys.stderr)
     finally:
         parallel.shutdown()
+        journal.close()
         if args.telemetry is not None:
             print(f"\n[telemetry] events in {args.telemetry}/ — summarize "
                   f"with: python scripts/report.py {args.telemetry}")
-    return 0
+    return 130 if interrupted else 0
 
 
 if __name__ == "__main__":

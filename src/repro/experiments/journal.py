@@ -1,0 +1,211 @@
+"""Checkpoint journal: durable record of completed simulation jobs.
+
+A figure run is a long sweep of (workload, predictor-key, instructions)
+jobs.  The result cache already stores each job's *bytes*; the journal,
+an append-only JSONL file next to the cache, stores the *fact* that the
+job finished and a digest of what it produced.  That small difference is
+what makes crash recovery trustworthy:
+
+* after a crash or SIGINT, ``python -m repro.experiments --resume``
+  re-executes only jobs absent from the journal — finished work
+  survives;
+* a cache entry that *exists* but whose digest contradicts the journal
+  (torn write, disk trouble, stale tooling) is detected and re-run
+  instead of silently poisoning a figure.
+
+Each line is one JSON object.  The first is a header pinning the
+journal format and the runner's ``RESULTS_VERSION``; a journal from an
+incompatible version is discarded wholesale (its entries describe
+results the current code would not reproduce).  Entry lines are flushed
+as they are written, so the journal is always at most one job behind
+reality — the worst a crash can lose is the job in flight.  Unreadable
+or truncated lines are skipped on load, mirroring the result cache's
+corruption tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Set, TextIO, Tuple, Union
+
+#: (workload, predictor key, instructions) — matches SimJob's fields.
+JobKey = Tuple[str, str, int]
+
+_FORMAT_VERSION = 1
+
+
+def result_digest(result) -> str:
+    """Canonical content digest of a :class:`SimulationResult`."""
+    from repro.experiments.runner import _to_json
+
+    payload = json.dumps(_to_json(result), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_path() -> Path:
+    """The journal's on-disk home, next to the result cache."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env) if env else Path.home() / ".cache" / "repro-llbp"
+    return base / "journal.jsonl"
+
+
+class RunJournal:
+    """Append-only completion journal with digest verification.
+
+    Use :meth:`open` (fresh run truncates, ``resume=True`` loads);
+    :meth:`record` / :meth:`record_result` append, :meth:`__contains__`
+    and :meth:`matches` query.  Safe to pass where no journalling is
+    wanted: every consumer treats ``None`` as "off".
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._digests: Dict[JobKey, str] = {}
+        self._fh: Optional[TextIO] = None
+
+    @classmethod
+    def open(cls, path: Union[str, Path, None] = None,
+             resume: bool = False) -> "RunJournal":
+        """Open the journal at ``path`` (default :func:`default_path`).
+
+        A fresh run (``resume=False``) starts an empty journal,
+        discarding any previous one; ``resume=True`` loads the previous
+        run's completions so finished jobs can be skipped.
+        """
+        journal = cls(path if path is not None else default_path())
+        if resume:
+            journal._load()
+        else:
+            journal._truncate()
+        return journal
+
+    # -- querying ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+    def __contains__(self, job: JobKey) -> bool:
+        return tuple(job) in self._digests
+
+    def completed(self) -> Set[JobKey]:
+        """The set of jobs the journal records as finished."""
+        return set(self._digests)
+
+    def digest(self, job: JobKey) -> Optional[str]:
+        return self._digests.get(tuple(job))
+
+    def matches(self, job: JobKey, result) -> Optional[bool]:
+        """Does ``result`` match what the journal saw for ``job``?
+
+        ``None`` when the journal has no opinion (job never recorded);
+        ``False`` is the corruption signal — the caller holds bytes that
+        differ from what a completed run produced.
+        """
+        expected = self._digests.get(tuple(job))
+        if expected is None:
+            return None
+        return expected == result_digest(result)
+
+    # -- recording --------------------------------------------------
+
+    def record(self, job: JobKey, digest: str) -> None:
+        """Append one completion (idempotent per job)."""
+        job = tuple(job)
+        if self._digests.get(job) == digest:
+            return
+        self._digests[job] = digest
+        workload, key, instructions = job
+        self._append({"workload": workload, "key": key,
+                      "instructions": int(instructions), "digest": digest})
+
+    def record_result(self, job: JobKey, result) -> None:
+        """Append one completion, digesting ``result`` for verification."""
+        self.record(job, result_digest(result))
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- file plumbing ----------------------------------------------
+
+    def _results_version(self) -> int:
+        from repro.experiments.runner import RESULTS_VERSION
+
+        return RESULTS_VERSION
+
+    def _header(self) -> dict:
+        return {"journal": _FORMAT_VERSION,
+                "results_version": self._results_version()}
+
+    def _append(self, record: dict) -> None:
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = not self.path.exists() or self.path.stat().st_size == 0
+                self._fh = open(self.path, "a")
+                if fresh:
+                    self._write_line(self._header())
+            self._write_line(record)
+        except OSError:
+            # Journalling is best-effort, like the result cache: losing
+            # a checkpoint must never take down the run it checkpoints.
+            self.close()
+
+    def _write_line(self, record: dict) -> None:
+        assert self._fh is not None
+        json.dump(record, self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def _truncate(self) -> None:
+        try:
+            if self.path.exists():
+                self.path.unlink()
+        except OSError:
+            pass
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        entries: Dict[JobKey, str] = {}
+        header_ok = False
+        for i, line in enumerate(text.splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write mid-crash; later lines may be fine
+            if not isinstance(record, dict):
+                continue
+            if i == 0 or "journal" in record:
+                header_ok = (record.get("journal") == _FORMAT_VERSION and
+                             record.get("results_version")
+                             == self._results_version())
+                continue
+            try:
+                job = (str(record["workload"]), str(record["key"]),
+                       int(record["instructions"]))
+                entries[job] = str(record["digest"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        if header_ok:
+            self._digests = entries
+        else:
+            # Different format or RESULTS_VERSION: these completions
+            # describe results the current code would not produce.
+            self._truncate()

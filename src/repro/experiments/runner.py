@@ -245,6 +245,22 @@ def seed_result(workload: str, key: str, instructions: int,
     _memory_cache[(workload, key, instructions)] = result
 
 
+def drop_result(workload: str, key: str,
+                instructions: Optional[int] = None) -> None:
+    """Evict one result from the memory *and* disk caches.
+
+    The fault-tolerance layer calls this when a checkpoint journal
+    proves a cached entry corrupt (digest mismatch): the poisoned bytes
+    must not answer the retry that replaces them.
+    """
+    instructions = _resolve_instructions(instructions)
+    _memory_cache.pop((workload, key, instructions), None)
+    try:
+        os.unlink(_cache_path(workload, instructions, key))
+    except OSError:
+        pass
+
+
 def get_result(workload: str, key: str,
                instructions: Optional[int] = None) -> SimulationResult:
     """Simulate ``key`` on ``workload`` (or return the cached result)."""

@@ -4,8 +4,16 @@ Fans simulation jobs across worker processes with cache-aware dispatch:
 jobs whose results are already cached never reach the pool, duplicate
 jobs are coalesced, and completed results land in both the on-disk
 result cache and the calling process's in-memory cache.
+
+The scheduler is fault-tolerant: failed attempts retry with bounded
+jittered backoff (:mod:`repro.parallel.retry`), hung workers are timed
+out and their pool rebuilt, dead workers are detected and the stranded
+jobs re-dispatched, and an irrecoverable pool degrades to serial
+in-process execution.  Every failure path can be forced
+deterministically via :mod:`repro.parallel.faults` (``REPRO_FAULTS``).
 """
 
+from repro.parallel import faults
 from repro.parallel.executor import (
     SimJob,
     default_jobs,
@@ -13,5 +21,15 @@ from repro.parallel.executor import (
     run_jobs,
     shutdown,
 )
+from repro.parallel.retry import RetryPolicy, backoff_delay
 
-__all__ = ["SimJob", "default_jobs", "make_jobs", "run_jobs", "shutdown"]
+__all__ = [
+    "SimJob",
+    "RetryPolicy",
+    "backoff_delay",
+    "default_jobs",
+    "faults",
+    "make_jobs",
+    "run_jobs",
+    "shutdown",
+]

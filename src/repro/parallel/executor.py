@@ -1,4 +1,4 @@
-"""Process-pool scheduler for simulation jobs.
+"""Process-pool scheduler for simulation jobs, with fault tolerance.
 
 The unit of work is a :class:`SimJob` — one (workload, instructions,
 predictor-key) triple, exactly the granularity of the on-disk result
@@ -6,7 +6,8 @@ cache.  :func:`run_jobs` takes any number of jobs and:
 
 1. deduplicates them (figures share baselines like ``tsl64``);
 2. answers what it can from the in-memory and on-disk caches without
-   touching the pool;
+   touching the pool (re-running anything a checkpoint journal proves
+   corrupt);
 3. coalesces jobs already in flight from an earlier call instead of
    dispatching them twice;
 4. fans the rest across a process pool, where each worker runs the
@@ -15,9 +16,28 @@ cache.  :func:`run_jobs` takes any number of jobs and:
 5. seeds the parent's in-memory cache with every result, so subsequent
    serial code (``get_result``) never re-simulates.
 
+Failures do not abort the batch.  Each job runs under a
+:class:`~repro.parallel.retry.RetryPolicy`: an attempt that raises is
+retried with bounded, jittered exponential backoff; an attempt that
+exceeds the per-job timeout has its (hung) worker killed and the pool
+rebuilt; a worker that dies mid-job (OOM-kill, segfault) surfaces as a
+broken pool, which is likewise rebuilt and the stranded jobs retried
+without burning their own attempt budget.  If the pool proves
+irrecoverable — more rebuilds than ``policy.max_pool_rebuilds`` — the
+batch degrades to serial in-process execution rather than failing.
+Only a job that exhausts ``max_attempts`` raises to the caller.
+
+Every failure path is exercisable deterministically through
+:mod:`repro.parallel.faults` (``REPRO_FAULTS``), and each recovery
+emits a telemetry event (``parallel.retry`` / ``.timeout`` /
+``.worker_lost`` / ``.pool_rebuild`` / ``.degraded``) so
+``scripts/report.py`` can account for a bumpy run.
+
 Workers inherit ``REPRO_*`` environment knobs from the parent, which is
 what keeps parallel results bit-identical to serial runs: the same trace
-generation, the same predictor construction, the same engine.
+generation, the same predictor construction, the same engine — retries
+re-run the same pure computation, so a recovered batch equals a clean
+one.
 """
 
 from __future__ import annotations
@@ -26,10 +46,14 @@ import os
 import threading
 import time
 import warnings
-from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro import telemetry
+from repro.parallel import faults
+from repro.parallel.retry import RetryPolicy, backoff_delay
 from repro.sim.results import SimulationResult
 
 
@@ -86,7 +110,8 @@ def make_jobs(pairs: Iterable[Tuple[str, str]],
     return [SimJob(w, k, instructions) for w, k in pairs]
 
 
-def _simulate(job: SimJob) -> SimulationResult:
+def _simulate(job: SimJob, fault: Optional[str] = None,
+              in_worker: bool = True) -> SimulationResult:
     """Worker entry point: run the cached runner for one job.
 
     Module-level so it pickles; imports stay inside so the worker pays
@@ -94,9 +119,14 @@ def _simulate(job: SimJob) -> SimulationResult:
     ``REPRO_TELEMETRY`` with the rest of the environment and write their
     events to their own per-pid JSONL file, which is what makes per-job
     wall time and worker utilization reportable after the run.
+
+    ``fault`` is this attempt's share of the chaos plan, decided by the
+    parent (see :mod:`repro.parallel.faults`); it fires before any work
+    or cache write, so a faulted attempt leaves no partial state.
     """
     from repro.experiments import runner
 
+    faults.apply(fault, job, in_worker)
     if not telemetry.enabled():
         return runner.get_result(job.workload, job.key, job.instructions)
     start = time.perf_counter()
@@ -107,13 +137,49 @@ def _simulate(job: SimJob) -> SimulationResult:
     return result
 
 
+class _Ticket:
+    """A job's promised outcome, shared between submitter and coalescers.
+
+    Unlike a pool ``Future``, a ticket survives retries and pool
+    rebuilds: the owning caller may burn through several futures (and
+    pools) before publishing the final result or error here, and every
+    caller waiting on the same job observes only that final outcome.
+    """
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[SimulationResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def settled(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, result: SimulationResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self) -> SimulationResult:
+        self._event.wait()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
 # One pool per process, plus the jobs currently submitted to it.  The
-# lock guards both; futures stay registered until consumed so concurrent
+# lock guards both; tickets stay registered until consumed so concurrent
 # run_jobs calls (e.g. threaded test sessions) coalesce duplicates.
 _lock = threading.Lock()
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers = 0
-_inflight: Dict[SimJob, Future] = {}
+_inflight: Dict[SimJob, _Ticket] = {}
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
@@ -128,49 +194,301 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
+def _discard_pool(kill: bool = False) -> None:
+    """Drop the current pool; with ``kill``, SIGKILL its workers first.
+
+    Killing is for hung workers: ``shutdown`` would politely wait for a
+    worker that will never answer, so the recovery path terminates the
+    processes outright and builds a fresh pool.  Callers hold ``_lock``.
+    """
+    global _pool, _pool_workers
+    pool, _pool, _pool_workers = _pool, None, 0
+    if pool is None:
+        return
+    if kill:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass
+    pool.shutdown(wait=False)
+
+
 def shutdown() -> None:
     """Tear down the worker pool (tests; end of a CLI run)."""
-    global _pool, _pool_workers
     with _lock:
-        pool, _pool, _pool_workers = _pool, None, 0
+        tickets = list(_inflight.values())
         _inflight.clear()
-    if pool is not None:
-        pool.shutdown(wait=True)
+        _discard_pool()
+    for ticket in tickets:
+        if not ticket.settled:
+            ticket.fail(CancelledError("parallel.shutdown()"))
+
+
+class _JobState:
+    """Per-job retry bookkeeping for one owned batch."""
+
+    __slots__ = ("attempts", "fault")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.fault = faults.assign_next()
+
+
+def _journal_record(journal, job: SimJob, result: SimulationResult) -> None:
+    if journal is not None:
+        journal.record_result((job.workload, job.key, job.instructions),
+                              result)
+
+
+def _run_serial_attempts(job: SimJob, state: _JobState, policy: RetryPolicy,
+                         journal) -> SimulationResult:
+    """Run one job in-process, honouring its remaining retry budget."""
+    while True:
+        try:
+            result = _simulate(job, state.fault.take(), in_worker=False)
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            state.attempts += 1
+            if state.attempts >= policy.max_attempts:
+                raise
+            delay = backoff_delay(state.attempts, policy, key=job)
+            telemetry.emit("parallel.retry", workload=job.workload,
+                           key=job.key, attempt=state.attempts,
+                           delay=round(delay, 4), error=type(error).__name__,
+                           where="serial")
+            time.sleep(delay)
+        else:
+            _journal_record(journal, job, result)
+            return result
+
+
+def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
+                   workers: int, policy: RetryPolicy, journal) -> int:
+    """Drive every owned job to a settled ticket; returns pool rebuilds.
+
+    The loop dispatches ready jobs, waits for completions or the nearest
+    per-job deadline, and turns each failure into either a scheduled
+    retry (with backoff) or a settled error.  Worker death and hung
+    workers both end in a pool rebuild; past the rebuild budget the
+    remaining jobs finish serially in this process.
+    """
+    states = {job: _JobState() for job in jobs}
+    waiting: Set[SimJob] = set(jobs)
+    not_before = {job: 0.0 for job in jobs}
+    running: Dict[Future, SimJob] = {}
+    deadlines: Dict[Future, float] = {}
+    rebuilds = 0
+    degraded = False
+
+    def settle_ok(job: SimJob, result: SimulationResult) -> None:
+        _journal_record(journal, job, result)
+        tickets[job].resolve(result)
+
+    def schedule_retry(job: SimJob, error: BaseException, kind: str,
+                       charge: bool = True) -> None:
+        """Queue another attempt, or settle the ticket with ``error``.
+
+        ``charge=False`` is for collateral damage — a job whose worker
+        died because a *different* job killed the pool keeps its own
+        attempt budget intact.
+        """
+        state = states[job]
+        if charge:
+            state.attempts += 1
+            if state.attempts >= policy.max_attempts:
+                telemetry.emit("parallel.exhausted", workload=job.workload,
+                               key=job.key, attempts=state.attempts,
+                               error=type(error).__name__)
+                tickets[job].fail(error)
+                return
+            delay = backoff_delay(state.attempts, policy, key=job)
+            telemetry.emit("parallel.retry", workload=job.workload,
+                           key=job.key, attempt=state.attempts,
+                           delay=round(delay, 4), error=kind)
+            not_before[job] = time.monotonic() + delay
+        else:
+            telemetry.emit("parallel.worker_lost", workload=job.workload,
+                           key=job.key)
+            not_before[job] = 0.0
+        waiting.add(job)
+
+    def rebuild_pool(kill: bool) -> None:
+        nonlocal rebuilds, degraded
+        for future, job in running.items():
+            future.cancel()
+            schedule_retry(job, BrokenProcessPool("pool rebuilt"),
+                           "worker_lost", charge=False)
+        running.clear()
+        deadlines.clear()
+        rebuilds += 1
+        with _lock:
+            _discard_pool(kill=kill)
+        telemetry.emit("parallel.pool_rebuild", rebuilds=rebuilds,
+                       killed=kill)
+        if rebuilds > policy.max_pool_rebuilds:
+            degraded = True
+
+    while waiting or running:
+        if degraded:
+            break
+
+        # Dispatch every job whose backoff has elapsed (original order,
+        # so the fault plan's dispatch indices stay deterministic).
+        now = time.monotonic()
+        ready = [job for job in jobs
+                 if job in waiting and not_before[job] <= now]
+        if ready:
+            try:
+                with _lock:
+                    pool = _get_pool(workers)
+                    for job in ready:
+                        future = pool.submit(_simulate, job,
+                                             states[job].fault.take(), True)
+                        waiting.discard(job)
+                        running[future] = job
+                        if policy.timeout is not None:
+                            deadlines[future] = (time.monotonic()
+                                                 + policy.timeout)
+            except (BrokenProcessPool, RuntimeError):
+                # The pool died before accepting work (submit on a
+                # broken/shut-down executor); jobs not yet submitted
+                # are still in ``waiting``.
+                rebuild_pool(kill=True)
+                continue
+
+        if not running:
+            # Everyone is backing off; sleep until the earliest retry.
+            pause = min(not_before[job] for job in waiting) - time.monotonic()
+            if pause > 0:
+                time.sleep(min(pause, 0.1))
+            continue
+
+        # Wait for a completion, but wake for the nearest deadline or
+        # the nearest backoff expiry, whichever comes first.
+        now = time.monotonic()
+        wakeups = [d - now for d in deadlines.values()]
+        wakeups += [not_before[job] - now for job in waiting]
+        timeout = max(0.01, min(wakeups)) if wakeups else None
+        done, _ = wait(list(running), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+
+        broken = False
+        for future in done:
+            job = running.pop(future)
+            deadlines.pop(future, None)
+            try:
+                result = future.result()
+            except BrokenProcessPool as error:
+                # This job's worker died mid-attempt: that *is* this
+                # job's failure, so it burns an attempt — but the pool
+                # is gone for everyone, handled below.
+                broken = True
+                schedule_retry(job, error, "worker_lost")
+            except CancelledError as error:
+                schedule_retry(job, error, "cancelled", charge=False)
+            except BaseException as error:
+                schedule_retry(job, error, type(error).__name__)
+            else:
+                settle_ok(job, result)
+        if broken:
+            rebuild_pool(kill=True)
+            continue
+
+        # Enforce per-job deadlines: a hung worker never returns, so the
+        # only recovery is to kill the pool and retry elsewhere.
+        now = time.monotonic()
+        expired = [future for future, deadline in deadlines.items()
+                   if deadline <= now]
+        if expired:
+            for future in expired:
+                job = running.pop(future)
+                deadlines.pop(future)
+                telemetry.emit("parallel.timeout", workload=job.workload,
+                               key=job.key, timeout=policy.timeout,
+                               attempt=states[job].attempts + 1)
+                schedule_retry(job, TimeoutError(
+                    f"job {job.workload}/{job.key} exceeded "
+                    f"{policy.timeout}s"), "timeout")
+            rebuild_pool(kill=True)
+
+    if degraded and (waiting or running):
+        remaining = [job for job in jobs
+                     if job in waiting or job in set(running.values())]
+        telemetry.emit("parallel.degraded", remaining=len(remaining),
+                       rebuilds=rebuilds)
+        running.clear()
+        for job in remaining:
+            waiting.discard(job)
+            try:
+                settle_ok(job, _run_serial_attempts(job, states[job],
+                                                    policy, journal=None))
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                tickets[job].fail(error)
+    return rebuilds
 
 
 def run_jobs(jobs: Sequence[SimJob],
-             max_workers: Optional[int] = None) -> Dict[SimJob, SimulationResult]:
+             max_workers: Optional[int] = None,
+             policy: Optional[RetryPolicy] = None,
+             journal=None) -> Dict[SimJob, SimulationResult]:
     """Run every job, in parallel where possible; returns job -> result.
 
     Results are identical to calling ``runner.get_result`` for each job
-    serially — the parallel path only changes *where* the simulation
-    runs, never what it computes.
+    serially — the parallel path (including every retry, pool rebuild
+    and degradation to serial) only changes *where* the simulation runs,
+    never what it computes.
+
+    ``policy`` defaults to :meth:`RetryPolicy.from_env` (``REPRO_RETRIES``
+    and friends).  ``journal``, when given, is a checkpoint journal (see
+    :mod:`repro.experiments.journal`): completed jobs are recorded as
+    they finish, and a cached result whose digest contradicts the
+    journal is treated as corrupt and re-run instead of trusted.
     """
     from repro.experiments import runner
 
     if max_workers is None:
         max_workers = default_jobs()
+    if policy is None:
+        policy = RetryPolicy.from_env()
 
     telemetry_on = telemetry.enabled()
     batch_start = time.perf_counter() if telemetry_on else 0.0
 
-    def emit_batch(pending: int, dispatched: int, workers: int) -> None:
+    def emit_batch(pending: int, dispatched: int, workers: int,
+                   rebuilds: int = 0) -> None:
         if telemetry_on:
             telemetry.emit(
                 "parallel.run_jobs", requested=len(jobs), unique=len(unique),
                 cache_hits=len(unique) - pending,
                 coalesced=pending - dispatched, dispatched=dispatched,
-                workers=workers, seconds=time.perf_counter() - batch_start)
+                workers=workers, pool_rebuilds=rebuilds,
+                seconds=time.perf_counter() - batch_start)
 
     unique: List[SimJob] = list(dict.fromkeys(jobs))
     results: Dict[SimJob, SimulationResult] = {}
 
     # Cache peek: anything already in the memory or disk cache skips the
-    # pool entirely (and gets promoted into the memory cache).
+    # pool entirely (and gets promoted into the memory cache) — unless
+    # the journal proves the cached bytes wrong, in which case the entry
+    # is dropped and the job re-run.
     pending: List[SimJob] = []
     for job in unique:
         cached = runner.peek_result(job.workload, job.key, job.instructions)
+        if cached is not None and journal is not None:
+            verdict = journal.matches(
+                (job.workload, job.key, job.instructions), cached)
+            if verdict is False:
+                telemetry.emit("parallel.cache_corrupt",
+                               workload=job.workload, key=job.key,
+                               instructions=job.instructions)
+                runner.drop_result(job.workload, job.key, job.instructions)
+                cached = None
         if cached is not None:
+            _journal_record(journal, job, cached)
             results[job] = cached
         else:
             pending.append(job)
@@ -182,38 +500,49 @@ def run_jobs(jobs: Sequence[SimJob],
     if max_workers <= 1 or len(pending) == 1:
         # Serial fallback: no pool spin-up for a single miss or -j 1.
         # _simulate emits the per-job telemetry here too — the "worker"
-        # is simply this process.
+        # is simply this process — and the retry policy still applies.
         for job in pending:
-            results[job] = _simulate(job)
+            results[job] = _run_serial_attempts(job, _JobState(), policy,
+                                                journal)
         emit_batch(pending=len(pending), dispatched=len(pending), workers=1)
         return {job: results[job] for job in jobs}
 
-    futures: Dict[SimJob, Future] = {}
-    owned: List[SimJob] = []
+    owned: Dict[SimJob, _Ticket] = {}
+    tickets: Dict[SimJob, _Ticket] = {}
     with _lock:
         workers = min(max_workers, len(pending))
-        pool = _get_pool(workers)
         for job in pending:
-            future = _inflight.get(job)
-            if future is None:
-                future = pool.submit(_simulate, job)
-                _inflight[job] = future
-                owned.append(job)
-            futures[job] = future
+            ticket = _inflight.get(job)
+            if ticket is None:
+                ticket = _Ticket()
+                _inflight[job] = ticket
+                owned[job] = ticket
+            tickets[job] = ticket
 
+    rebuilds = 0
     try:
-        for job in pending:
-            result = futures[job].result()
-            # Seed the parent's memory cache: the worker wrote the disk
-            # cache, but this process should not have to re-read it.
-            runner.seed_result(job.workload, job.key, job.instructions,
-                               result)
-            results[job] = result
+        if owned:
+            rebuilds = _execute_owned(list(owned), tickets, workers, policy,
+                                      journal)
     finally:
         with _lock:
-            for job in owned:
-                if _inflight.get(job) is futures.get(job):
+            for job, ticket in owned.items():
+                if _inflight.get(job) is ticket:
                     del _inflight[job]
+        # Never strand a coalescer: any ticket the owner could not
+        # settle (an exception escaping the retry loop, KeyboardInterrupt)
+        # fails loudly instead of blocking forever.
+        for ticket in owned.values():
+            if not ticket.settled:
+                ticket.fail(CancelledError("executor aborted"))
 
-    emit_batch(pending=len(pending), dispatched=len(owned), workers=workers)
+    for job in pending:
+        result = tickets[job].wait()
+        # Seed the parent's memory cache: the worker wrote the disk
+        # cache, but this process should not have to re-read it.
+        runner.seed_result(job.workload, job.key, job.instructions, result)
+        results[job] = result
+
+    emit_batch(pending=len(pending), dispatched=len(owned), workers=workers,
+               rebuilds=rebuilds)
     return {job: results[job] for job in jobs}

@@ -166,6 +166,46 @@ def _summarize_llbp(events: List[Event]) -> Dict[str, Any]:
     }
 
 
+def _summarize_robustness(events: List[Event]) -> Dict[str, Any]:
+    """Fault-tolerance accounting: retries, timeouts, rebuilds, resume.
+
+    A clean run reports all-zero counts; anything non-zero is the
+    executor's recovery machinery at work (or the fault-injection hook
+    in a chaos run), and :func:`format_summary` surfaces it.
+    """
+    retries = [e for e in events if e["event"] == "parallel.retry"]
+    errors: Dict[str, int] = {}
+    for e in retries:
+        kind = str(e.get("error", "?"))
+        errors[kind] = errors.get(kind, 0) + 1
+    resumes = [e for e in events if e["event"] == "experiment.resume"]
+    return {
+        "retries": len(retries),
+        "retry_errors": errors,
+        "backoff_seconds": round(
+            sum(float(e.get("delay", 0.0)) for e in retries), 4),
+        "timeouts": len([e for e in events
+                         if e["event"] == "parallel.timeout"]),
+        "workers_lost": len([e for e in events
+                             if e["event"] == "parallel.worker_lost"]),
+        "pool_rebuilds": len([e for e in events
+                              if e["event"] == "parallel.pool_rebuild"]),
+        "degraded_to_serial": len([e for e in events
+                                   if e["event"] == "parallel.degraded"]),
+        "exhausted": len([e for e in events
+                          if e["event"] == "parallel.exhausted"]),
+        "faults_injected": len([e for e in events
+                                if e["event"] == "parallel.fault"]),
+        "cache_corrupt": len([e for e in events
+                              if e["event"] == "parallel.cache_corrupt"]),
+        "interrupted": len([e for e in events
+                            if e["event"] == "experiment.interrupted"]),
+        "resume": ({"journaled": int(resumes[-1].get("journaled", 0)),
+                    "total": int(resumes[-1].get("total", 0))}
+                   if resumes else None),
+    }
+
+
 def _summarize_figures(events: List[Event]) -> Dict[str, float]:
     return {e["name"]: round(float(e.get("seconds", 0.0)), 4)
             for e in events if e["event"] == "experiment.figure" and "name" in e}
@@ -182,6 +222,7 @@ def summarize(events: List[Event]) -> Dict[str, Any]:
         "simulation": _summarize_simulation(events),
         "caches": _summarize_caches(events),
         "parallel": _summarize_parallel(events),
+        "robustness": _summarize_robustness(events),
         "llbp": _summarize_llbp(events),
         "figures": _summarize_figures(events),
     }
@@ -236,6 +277,42 @@ def format_summary(summary: Dict[str, Any]) -> str:
         for pid, w in sorted(par["workers"].items()):
             lines.append(f"  worker {pid:<8} {w['jobs']:>4} job(s)  "
                          f"{w['busy_seconds']:>8.2f}s busy")
+
+    robust = summary.get("robustness", {})
+    eventful = any(robust.get(k) for k in
+                   ("retries", "timeouts", "workers_lost", "pool_rebuilds",
+                    "degraded_to_serial", "exhausted", "faults_injected",
+                    "cache_corrupt", "interrupted")) or robust.get("resume")
+    if eventful:
+        kinds = ", ".join(f"{kind} x{count}" for kind, count
+                          in sorted(robust["retry_errors"].items()))
+        lines.append(f"\nrobustness — {robust['retries']} retr"
+                     f"{'y' if robust['retries'] == 1 else 'ies'}"
+                     f"{f' ({kinds})' if kinds else ''}, "
+                     f"{robust['backoff_seconds']:.2f}s backing off; "
+                     f"{robust['timeouts']} timeout(s), "
+                     f"{robust['workers_lost']} worker(s) lost, "
+                     f"{robust['pool_rebuilds']} pool rebuild(s)")
+        if robust["faults_injected"]:
+            lines.append(f"  {robust['faults_injected']} fault(s) injected "
+                         f"(REPRO_FAULTS chaos hook)")
+        if robust["cache_corrupt"]:
+            lines.append(f"  {robust['cache_corrupt']} corrupt cache "
+                         f"entr{'y' if robust['cache_corrupt'] == 1 else 'ies'}"
+                         f" detected and re-run")
+        if robust["degraded_to_serial"]:
+            lines.append("  pool irrecoverable — degraded to serial "
+                         "execution")
+        if robust["exhausted"]:
+            lines.append(f"  {robust['exhausted']} job(s) failed after "
+                         f"exhausting retries")
+        if robust["interrupted"]:
+            lines.append("  run interrupted (Ctrl-C) — resumable via "
+                         "--resume")
+        if robust["resume"]:
+            res = robust["resume"]
+            lines.append(f"  resumed: {res['journaled']}/{res['total']} "
+                         f"simulations already journalled")
 
     llbp = summary["llbp"]
     if llbp.get("runs"):

@@ -2,10 +2,40 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.traces.trace import Trace, TraceBuilder
 from repro.traces.types import BranchType
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # CI runs on a shared, noisy 3.9/3.11/3.12 matrix: kill the wall-clock
+    # deadline (a slow runner must not flake a correct property) and
+    # derandomize so every leg checks the same examples — a red matrix
+    # cell always means the code, never the seed.
+    settings.register_profile(
+        "ci", deadline=None, derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile("ci" if os.environ.get("CI") else "dev")
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden-MPKI fixtures in "
+             "tests/integration/golden_mpki.json instead of asserting "
+             "against them")
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture

@@ -1,0 +1,86 @@
+"""Golden-MPKI regression fixtures: catch refactors by value.
+
+Self-equivalence tests (parallel == serial, specialized == reference
+loop) cannot catch a change that shifts *both* sides the same way — a
+subtle predictor or engine edit that alters every path at once.  This
+suite pins the absolute MPKI of all 14 catalog workloads under three
+predictors (``gshare``, the 64K TAGE-SC-L baseline, and LLBP) at a
+small trace length, against committed JSON fixtures.
+
+The numbers are pure functions of (workload seed, trace length,
+predictor construction): integer misprediction counts divided by the
+instruction budget, so exact float equality is portable and any drift
+is a real behaviour change.  When a change is *intended* (bumping
+``RESULTS_VERSION``), regenerate with::
+
+    python -m pytest tests/integration/test_golden_mpki.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import resolve_predictor
+from repro.sim.engine import run_simulation
+from repro.workloads.catalog import generate_workload, workload_names
+
+GOLDEN_PATH = Path(__file__).parent / "golden_mpki.json"
+
+#: tage_sc_l_64 is the ``tsl64`` runner key.
+KEYS = ("gshare", "tsl64", "llbp")
+
+#: Small enough that the full 14x3 matrix simulates in a few seconds,
+#: long enough that every predictor is past its cold-start regime.
+INSTRUCTIONS = 30_000
+
+#: MPKI is quantized for the fixture so the file stays readable; 1e-6
+#: MPKI at this trace length is well below a single misprediction.
+DIGITS = 6
+
+
+def _measure(workload: str) -> dict:
+    trace = generate_workload(workload, INSTRUCTIONS)
+    return {key: round(run_simulation(trace, resolve_predictor(key)).mpki,
+                       DIGITS)
+            for key in KEYS}
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_trace_cache(tmp_path, monkeypatch):
+    """Hermetic: golden numbers must not depend on ambient caches."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_INSTRUCTIONS", raising=False)
+
+
+def test_fixture_covers_full_catalog():
+    golden = _load_golden()
+    assert sorted(golden) == sorted(workload_names())
+    for workload, values in golden.items():
+        assert sorted(values) == sorted(KEYS), workload
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_golden_mpki(workload, update_golden):
+    measured = _measure(workload)
+    if update_golden:
+        golden = _load_golden() if GOLDEN_PATH.exists() else {}
+        golden[workload] = measured
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(golden, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return
+    golden = _load_golden()
+    assert workload in golden, (
+        f"no golden entry for {workload}; regenerate with --update-golden")
+    assert measured == golden[workload], (
+        f"MPKI drifted for {workload}: measured {measured}, "
+        f"golden {golden[workload]}.  If the change is intended, rerun "
+        f"with --update-golden and commit the new fixtures.")

@@ -1,0 +1,158 @@
+"""Chaos suite: every failure path the executor claims to survive.
+
+Each test forces a specific failure through the deterministic fault
+hook (:mod:`repro.parallel.faults`) — an attempt that raises, a worker
+that hangs past the per-job timeout, a worker SIGKILLed mid-job — and
+asserts the two promises the fault-tolerance layer makes:
+
+1. the batch still completes, with results **bit-identical** to a
+   clean serial run (recovery changes where/when a simulation runs,
+   never what it computes);
+2. telemetry accounts for every recovery (``parallel.retry`` /
+   ``.timeout`` / ``.pool_rebuild`` / ``.degraded`` events), so a bumpy
+   run is visible in ``scripts/report.py`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parallel, telemetry
+from repro.experiments import runner
+from repro.parallel import faults
+from repro.parallel.retry import RetryPolicy
+
+KEYS = ("bimodal", "gshare", "tsl64")
+
+#: Fast backoff so a retry storm costs milliseconds, not the defaults.
+FAST = dict(max_attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.5)
+
+
+@pytest.fixture(autouse=True)
+def chaos_env(isolated_caches, tmp_path, monkeypatch):
+    """Telemetry on, hangs bounded, plan/pool state reset around each test.
+
+    Yields the telemetry directory: events must be read back from the
+    merged per-process JSONL files, because fault and per-job events are
+    emitted inside pool workers, not the parent.
+    """
+    directory = tmp_path / "telemetry"
+    monkeypatch.setenv("REPRO_TELEMETRY", str(directory))
+    monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "45")
+    faults.reset()
+    yield directory
+    faults.reset()
+    parallel.shutdown()
+    telemetry.reset()
+
+
+@pytest.fixture
+def events(chaos_env):
+    def _load(name):
+        return [e for e in telemetry.load_events(chaos_env)
+                if e["event"] == name]
+
+    return _load
+
+
+def _jobs(keys=KEYS):
+    return parallel.make_jobs([("Kafka", key) for key in keys])
+
+
+def _assert_matches_clean_serial(by_job, monkeypatch):
+    """Recompute serially with caching off; nothing a worker (or a
+    faulty attempt) wrote may leak into the comparison baseline."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+    runner.clear_memory_cache()
+    for job, result in by_job.items():
+        clean = runner.get_result(job.workload, job.key, job.instructions)
+        assert clean == result, f"recovered result diverged for {job}"
+
+
+class TestRaiseFault:
+    def test_retried_and_bit_identical(self, events, monkeypatch):
+        faults.install("raise@0")
+        by_job = parallel.run_jobs(_jobs(), max_workers=2,
+                                   policy=RetryPolicy(**FAST))
+        retries = events("parallel.retry")
+        assert any(e["error"] == "FaultInjected" for e in retries)
+        assert len(events("parallel.fault")) == 1
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+    def test_serial_path_retries_too(self, events, monkeypatch):
+        """-j 1 (no pool) runs the same retry policy in-process."""
+        faults.install("raise@1")
+        by_job = parallel.run_jobs(_jobs(), max_workers=1,
+                                   policy=RetryPolicy(**FAST))
+        (retry,) = events("parallel.retry")
+        assert retry["where"] == "serial"
+        assert retry["attempt"] == 1
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+    def test_exhausted_retries_surface_the_error(self, events):
+        faults.install(f"raise@0x{FAST['max_attempts']}")
+        with pytest.raises(faults.FaultInjected):
+            parallel.run_jobs(_jobs(("bimodal", "gshare")), max_workers=2,
+                              policy=RetryPolicy(**FAST))
+        assert len(events("parallel.exhausted")) == 1
+
+
+class TestWorkerKill:
+    def test_dead_worker_detected_pool_rebuilt(self, events, monkeypatch):
+        """SIGKILL mid-job (an OOM-kill stand-in) must not lose the batch."""
+        faults.install("kill@1")
+        by_job = parallel.run_jobs(_jobs(), max_workers=2,
+                                   policy=RetryPolicy(**FAST))
+        assert events("parallel.pool_rebuild")
+        kinds = {e["error"] for e in events("parallel.retry")}
+        assert "worker_lost" in kinds
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+    def test_irrecoverable_pool_degrades_to_serial(self, events, monkeypatch):
+        """Past the rebuild budget the batch finishes in-process."""
+        faults.install("kill@0")
+        by_job = parallel.run_jobs(
+            _jobs(), max_workers=2,
+            policy=RetryPolicy(max_pool_rebuilds=0, **FAST))
+        (degraded,) = events("parallel.degraded")
+        assert degraded["remaining"] >= 1
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+
+class TestHungWorker:
+    def test_timeout_kills_hung_worker_and_retries(self, events, monkeypatch):
+        faults.install("hang@0")
+        by_job = parallel.run_jobs(_jobs(), max_workers=2,
+                                   policy=RetryPolicy(timeout=3.0, **FAST))
+        (timeout,) = events("parallel.timeout")
+        assert timeout["timeout"] == 3.0
+        assert events("parallel.pool_rebuild")
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+
+class TestFig09StyleChaosRun:
+    def test_raise_hang_and_kill_across_one_figure_run(self, events, monkeypatch):
+        """The acceptance scenario: a fig09-style batch absorbs one of
+        each fault kind and still reproduces the clean figure exactly."""
+        from repro.experiments import fig09
+
+        # kill first (index 0) so its pool rebuild cannot retroactively
+        # swallow the others; the hang repeats (x2) so it survives any
+        # collateral rebuild and deterministically reaches its timeout.
+        faults.install("kill@0,raise@1,hang@3x2")
+        jobs = parallel.make_jobs(fig09.jobs())
+        by_job = parallel.run_jobs(
+            jobs, max_workers=2,
+            policy=RetryPolicy(timeout=4.0, max_attempts=4,
+                               base_delay=0.01, max_delay=0.05))
+
+        injected = {e["mode"] for e in events("parallel.fault")}
+        assert injected == {"raise", "hang", "kill"}
+        assert events("parallel.timeout"), "hang never hit the timeout"
+        assert events("parallel.pool_rebuild")
+        assert len(events("parallel.retry")) >= 3
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+        # The recovered batch must also format to the exact clean figure.
+        rows = fig09.run()
+        assert rows[-1]["workload"] == "Mean"

@@ -202,3 +202,60 @@ class TestExperimentsCLI:
         assert "experiment.run" in kinds
         summary = summarize(events)
         assert "table3" in summary["figures"]
+
+
+class TestRobustnessSummary:
+    def test_clean_run_is_all_zero_and_unreported(self):
+        summary = summarize([{"event": "sim.run", "ts": 1.0, "pid": 1,
+                              "seconds": 1.0}])
+        robust = summary["robustness"]
+        assert robust["retries"] == 0
+        assert robust["pool_rebuilds"] == 0
+        assert robust["resume"] is None
+        assert "robustness" not in format_summary(summary)
+
+    def test_recovery_events_are_counted(self):
+        events = [
+            {"event": "parallel.retry", "ts": 1.0, "pid": 1,
+             "error": "FaultInjected", "delay": 0.5, "attempt": 1},
+            {"event": "parallel.retry", "ts": 2.0, "pid": 1,
+             "error": "worker_lost", "delay": 1.0, "attempt": 2},
+            {"event": "parallel.timeout", "ts": 3.0, "pid": 1,
+             "timeout": 5.0},
+            {"event": "parallel.worker_lost", "ts": 4.0, "pid": 1},
+            {"event": "parallel.pool_rebuild", "ts": 5.0, "pid": 1,
+             "rebuilds": 1},
+            {"event": "parallel.degraded", "ts": 6.0, "pid": 1,
+             "remaining": 2},
+            {"event": "parallel.fault", "ts": 7.0, "pid": 9,
+             "mode": "kill"},
+            {"event": "parallel.cache_corrupt", "ts": 8.0, "pid": 1},
+            {"event": "experiment.resume", "ts": 9.0, "pid": 1,
+             "journaled": 3, "total": 7},
+        ]
+        robust = summarize(events)["robustness"]
+        assert robust["retries"] == 2
+        assert robust["retry_errors"] == {"FaultInjected": 1,
+                                          "worker_lost": 1}
+        assert robust["backoff_seconds"] == 1.5
+        assert robust["timeouts"] == 1
+        assert robust["workers_lost"] == 1
+        assert robust["pool_rebuilds"] == 1
+        assert robust["degraded_to_serial"] == 1
+        assert robust["faults_injected"] == 1
+        assert robust["cache_corrupt"] == 1
+        assert robust["resume"] == {"journaled": 3, "total": 7}
+
+    def test_bumpy_run_renders_robustness_section(self):
+        events = [
+            {"event": "parallel.retry", "ts": 1.0, "pid": 1,
+             "error": "timeout", "delay": 0.25, "attempt": 1},
+            {"event": "parallel.timeout", "ts": 2.0, "pid": 1,
+             "timeout": 5.0},
+            {"event": "experiment.resume", "ts": 3.0, "pid": 1,
+             "journaled": 2, "total": 4},
+        ]
+        text = format_summary(summarize(events))
+        assert "robustness" in text
+        assert "timeout x1" in text
+        assert "resumed: 2/4" in text
