@@ -28,8 +28,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Set, TextIO, Tuple, Union
+
+from repro import telemetry
 
 #: (workload, predictor key, instructions) — matches SimJob's fields.
 JobKey = Tuple[str, str, int]
@@ -66,6 +69,7 @@ class RunJournal:
         self.path = Path(path)
         self._digests: Dict[JobKey, str] = {}
         self._fh: Optional[TextIO] = None
+        self._warned_write_failure = False
 
     @classmethod
     def open(cls, path: Union[str, Path, None] = None,
@@ -128,7 +132,10 @@ class RunJournal:
 
     def close(self) -> None:
         if self._fh is not None:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
             self._fh = None
 
     def __enter__(self) -> "RunJournal":
@@ -157,10 +164,23 @@ class RunJournal:
                 if fresh:
                     self._write_line(self._header())
             self._write_line(record)
-        except OSError:
+        except OSError as error:
             # Journalling is best-effort, like the result cache: losing
             # a checkpoint must never take down the run it checkpoints.
+            # But not silently — a dead journal means --resume will
+            # re-execute this run's completions — so the first failure
+            # warns and lands in telemetry.  The handle is dropped and
+            # the open retried on the next record, in case the
+            # condition (full disk, transient I/O error) clears.
             self.close()
+            if not self._warned_write_failure:
+                self._warned_write_failure = True
+                warnings.warn(
+                    f"checkpoint journal write to {self.path} failed "
+                    f"({error}); completed jobs may be re-executed on "
+                    "--resume", RuntimeWarning, stacklevel=4)
+                telemetry.emit("journal.write_failed", path=str(self.path),
+                               error=type(error).__name__)
 
     def _write_line(self, record: dict) -> None:
         assert self._fh is not None

@@ -174,18 +174,26 @@ class _Ticket:
 
 
 # One pool per process, plus the jobs currently submitted to it.  The
-# lock guards both; tickets stay registered until consumed so concurrent
-# run_jobs calls (e.g. threaded test sessions) coalesce duplicates.
+# lock guards all of it; tickets stay registered until consumed so
+# concurrent run_jobs calls (e.g. threaded test sessions) coalesce
+# duplicates, and ``_pool_futures`` tracks the futures outstanding on
+# the *current* pool so _get_pool knows when a resize is safe.
 _lock = threading.Lock()
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers = 0
+_pool_futures: Set[Future] = set()
 _inflight: Dict[SimJob, _Ticket] = {}
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
     global _pool, _pool_workers
     if _pool is None or _pool_workers < workers:
-        if _pool is not None and not _inflight:
+        # An undersized pool can be replaced only while no futures are
+        # outstanding on it.  Registered tickets alone must not pin it:
+        # run_jobs registers the batch's tickets before execution ever
+        # reaches here, so gating on _inflight would mean a first small
+        # batch pins the pool at its size for the whole process.
+        if _pool is not None and not _pool_futures:
             _pool.shutdown(wait=True)
             _pool = None
         if _pool is None:
@@ -203,6 +211,7 @@ def _discard_pool(kill: bool = False) -> None:
     """
     global _pool, _pool_workers
     pool, _pool, _pool_workers = _pool, None, 0
+    _pool_futures.clear()
     if pool is None:
         return
     if kill:
@@ -317,6 +326,19 @@ def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
     def rebuild_pool(kill: bool) -> None:
         nonlocal rebuilds, degraded
         for future, job in running.items():
+            if future.done() and not future.cancelled():
+                # Completed between wait() returning and the rebuild:
+                # that is a real outcome — settle it rather than
+                # cancelling and re-running finished work.
+                try:
+                    result = future.result()
+                except BrokenProcessPool as error:
+                    schedule_retry(job, error, "worker_lost")
+                except BaseException as error:
+                    schedule_retry(job, error, type(error).__name__)
+                else:
+                    settle_ok(job, result)
+                continue
             future.cancel()
             schedule_retry(job, BrokenProcessPool("pool rebuilt"),
                            "worker_lost", charge=False)
@@ -334,11 +356,16 @@ def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
         if degraded:
             break
 
-        # Dispatch every job whose backoff has elapsed (original order,
-        # so the fault plan's dispatch indices stay deterministic).
+        # Dispatch jobs whose backoff has elapsed (original order, so
+        # the fault plan's indices stay deterministic), keeping at most
+        # ``workers`` futures in flight.  The per-job deadline starts
+        # at submission, so a job queued behind a full pool would burn
+        # its timeout budget waiting for a worker instead of running;
+        # bounding in-flight work makes submission ≈ execution start.
         now = time.monotonic()
+        slots = workers - len(running)
         ready = [job for job in jobs
-                 if job in waiting and not_before[job] <= now]
+                 if job in waiting and not_before[job] <= now][:max(0, slots)]
         if ready:
             try:
                 with _lock:
@@ -348,6 +375,7 @@ def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
                                              states[job].fault.take(), True)
                         waiting.discard(job)
                         running[future] = job
+                        _pool_futures.add(future)
                         if policy.timeout is not None:
                             deadlines[future] = (time.monotonic()
                                                  + policy.timeout)
@@ -366,13 +394,20 @@ def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
             continue
 
         # Wait for a completion, but wake for the nearest deadline or
-        # the nearest backoff expiry, whichever comes first.
+        # the nearest *future* backoff expiry, whichever comes first.
+        # A job that is already dispatchable but slot-starved is not a
+        # wakeup — only a completion can free its slot, so counting it
+        # would just busy-poll wait().
         now = time.monotonic()
         wakeups = [d - now for d in deadlines.values()]
-        wakeups += [not_before[job] - now for job in waiting]
+        wakeups += [not_before[job] - now for job in waiting
+                    if not_before[job] > now]
         timeout = max(0.01, min(wakeups)) if wakeups else None
         done, _ = wait(list(running), timeout=timeout,
                        return_when=FIRST_COMPLETED)
+        if done:
+            with _lock:
+                _pool_futures.difference_update(done)
 
         broken = False
         for future in done:

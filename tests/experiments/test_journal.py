@@ -55,6 +55,52 @@ class TestJournalFile:
             assert journal.completed() == {("Kafka", "bimodal", 60_000)}
 
 
+class TestWriteFailure:
+    def test_write_failure_warns_once_then_recovers(self, tmp_path,
+                                                    monkeypatch):
+        """A failed append must not kill checkpointing for the run: the
+        user is warned (once) and the next record reopens the file."""
+        monkeypatch.setenv(telemetry.ENV_VAR, str(tmp_path / "telemetry"))
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal.open(path, resume=False)
+        real = RunJournal._write_line
+        failures = {"left": 1}
+
+        def flaky(self, record):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise OSError("disk full")
+            real(self, record)
+
+        monkeypatch.setattr(RunJournal, "_write_line", flaky)
+        with pytest.warns(RuntimeWarning, match="journal write"):
+            journal.record(("Kafka", "bimodal", 60_000), "d1")
+        journal.record(("Kafka", "gshare", 60_000), "d2")
+        journal.close()
+
+        # The failure is visible in telemetry, and the journal carried
+        # on: the post-failure completion survived to disk.
+        kinds = [e["event"] for e in telemetry.events()]
+        assert "journal.write_failed" in kinds
+        with RunJournal.open(path, resume=True) as reloaded:
+            assert ("Kafka", "gshare", 60_000) in reloaded.completed()
+
+    def test_persistent_failure_warns_only_once(self, tmp_path,
+                                                monkeypatch, recwarn):
+        journal = RunJournal.open(tmp_path / "journal.jsonl", resume=False)
+
+        def broken(self, record):
+            raise OSError("read-only file system")
+
+        monkeypatch.setattr(RunJournal, "_write_line", broken)
+        journal.record(("Kafka", "bimodal", 60_000), "d1")
+        journal.record(("Kafka", "gshare", 60_000), "d2")
+        journal.close()
+        warned = [w for w in recwarn.list
+                  if "journal write" in str(w.message)]
+        assert len(warned) == 1
+
+
 class TestExecutorIntegration:
     def test_run_jobs_records_completions(self, isolated_caches):
         journal = RunJournal.open(resume=False)

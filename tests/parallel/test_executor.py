@@ -116,6 +116,65 @@ class TestRunJobs:
                                      job.instructions) is by_job[job]
 
 
+class TestScheduling:
+    def test_in_flight_never_exceeds_workers(self, isolated_caches,
+                                             monkeypatch):
+        """Per-job deadlines start at submission, so submission must
+        mean a worker picks the job up immediately: with more pending
+        jobs than workers, the executor may never queue more futures
+        than the pool has workers, or queued (healthy) jobs would burn
+        their timeout budget waiting for a slot."""
+        import threading
+
+        from repro.parallel import executor
+
+        lock = threading.Lock()
+        outstanding = set()
+        peaks = []
+        real_get_pool = executor._get_pool
+
+        class TrackingPool:
+            def __init__(self, pool):
+                self._pool = pool
+
+            def submit(self, fn, *args, **kwargs):
+                future = self._pool.submit(fn, *args, **kwargs)
+                with lock:
+                    outstanding.add(future)
+                    peaks.append(len(outstanding))
+
+                def done(f):
+                    with lock:
+                        outstanding.discard(f)
+
+                future.add_done_callback(done)
+                return future
+
+        monkeypatch.setattr(
+            executor, "_get_pool",
+            lambda workers: TrackingPool(real_get_pool(workers)))
+        jobs = parallel.make_jobs([(workload, key)
+                                   for workload in ("Kafka", "NodeApp")
+                                   for key in KEYS])
+        by_job = parallel.run_jobs(jobs, max_workers=2)
+        assert set(by_job) == set(jobs)
+        assert peaks and max(peaks) <= 2
+
+    def test_pool_grows_for_larger_batches(self, isolated_caches):
+        """A first small batch must not pin the pool size: once its
+        futures drain, a later larger batch gets a larger pool."""
+        from repro.parallel import executor
+
+        small = parallel.make_jobs([("Kafka", "bimodal"),
+                                    ("Kafka", "gshare")])
+        parallel.run_jobs(small, max_workers=2)
+        assert executor._pool_workers == 2
+
+        big = parallel.make_jobs([("NodeApp", key) for key in KEYS])
+        parallel.run_jobs(big, max_workers=3)
+        assert executor._pool_workers == 3
+
+
 class TestRunMany:
     def test_run_many_matches_get_result(self, isolated_caches):
         pairs = [("Kafka", "bimodal"), ("Kafka", "gshare")]

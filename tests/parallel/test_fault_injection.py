@@ -137,9 +137,11 @@ class TestFig09StyleChaosRun:
         from repro.experiments import fig09
 
         # kill first (index 0) so its pool rebuild cannot retroactively
-        # swallow the others; the hang repeats (x2) so it survives any
-        # collateral rebuild and deterministically reaches its timeout.
-        faults.install("kill@0,raise@1,hang@3x2")
+        # swallow the others; the raise and the hang repeat (x2) so they
+        # survive a collateral rebuild — a fault is consumed at
+        # submission, and the kill can break the pool before a sibling
+        # worker applies its share — and deterministically fire.
+        faults.install("kill@0,raise@1x2,hang@3x2")
         jobs = parallel.make_jobs(fig09.jobs())
         by_job = parallel.run_jobs(
             jobs, max_workers=2,
