@@ -44,6 +44,15 @@ FIG09_INSTRUCTIONS = 200_000
 FULL_KEYS = ("engine-null", "bimodal", "gshare", "tsl64", "llbp")
 QUICK_KEYS = ("engine-null", "bimodal", "tsl64", "llbp")
 
+# Batched-sweep configuration: a fig09-style grid — several workloads,
+# the TAGE-SC-L baseline, both LLBP timing variants, and the scaled
+# baseline — which is where the shared-trace batch engine concentrates
+# its wins (fold/lookup sharing across the TAGE-family members).
+SWEEP_WORKLOADS = ("NodeApp", "PHPWiki", "TPCC", "Twitter", "Kafka",
+                   "Tomcat")
+SWEEP_KEYS = ("tsl64", "llbp", "tsl512", "llbp:lat0")
+SWEEP_INSTRUCTIONS = 200_000
+
 
 def _null_predictor():
     from repro.predictors.base import BranchPredictor
@@ -90,6 +99,101 @@ def measure_branches_per_sec(keys=FULL_KEYS, reps=5, trace=None):
             best = max(best, len(trace) / (time.perf_counter() - t0))
         out[key] = round(best)
         print(f"  {key:<12} {out[key]:>12,} branches/sec", flush=True)
+    return out
+
+
+def measure_batched_pass(keys, trace, reps=2):
+    """Engine-level serial-vs-batched A/B on one trace (bench.py gate).
+
+    Returns ``(serial_seconds, batched_seconds, bit_identical)`` with
+    each side best-of-``reps``, alternating the two sides within each
+    rep so both sample the same noise regime on a shared box.
+    """
+    from repro.sim.engine import run_simulation
+    from repro.sim.multi import run_simulation_batch
+
+    serial_best = batched_best = float("inf")
+    identical = True
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        serial = [run_simulation(trace, _predictor(key),
+                                 collect_per_pc=True) for key in keys]
+        serial_best = min(serial_best, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        batched = run_simulation_batch(
+            trace, [_predictor(key) for key in keys], collect_per_pc=True)
+        batched_best = min(batched_best, time.perf_counter() - t0)
+        identical = identical and batched == serial
+    return serial_best, batched_best, identical
+
+
+def measure_batched_sweep(workloads=SWEEP_WORKLOADS, keys=SWEEP_KEYS,
+                          instructions=SWEEP_INSTRUCTIONS, rounds=2):
+    """Cold-result-cache sweep: per-job runner path vs batched runner path.
+
+    Every (workload, key) result is simulated through the *runner* on
+    both sides — ``get_result`` per job vs one ``run_batch`` per
+    workload — so the comparison includes everything a real figure run
+    pays per job (trace-cache load, predictor construction, per-PC
+    collection), not just the inner loop.  Traces are pre-published to
+    the packed store off the clock; the result cache stays cold
+    (``REPRO_RESULT_CACHE=0``).  Both sides must be *byte*-identical:
+    the serialised cache JSON is compared, not just the result values.
+    """
+    import json as _json
+
+    from repro.experiments import runner
+    from repro.workloads.catalog import generate_workload
+
+    for workload in workloads:
+        generate_workload(workload, instructions)
+
+    saved = os.environ.get("REPRO_RESULT_CACHE")
+    os.environ["REPRO_RESULT_CACHE"] = "0"
+    serial_best = batched_best = float("inf")
+    identical = True
+    try:
+        for _ in range(rounds):
+            runner.clear_memory_cache()
+            t0 = time.perf_counter()
+            serial = {(w, k): runner.get_result(w, k, instructions)
+                      for w in workloads for k in keys}
+            serial_best = min(serial_best, time.perf_counter() - t0)
+
+            runner.clear_memory_cache()
+            t0 = time.perf_counter()
+            batched = {}
+            for w in workloads:
+                for k, result in zip(keys,
+                                     runner.run_batch(w, keys, instructions)):
+                    batched[(w, k)] = result
+            batched_best = min(batched_best, time.perf_counter() - t0)
+
+            identical = identical and all(
+                _json.dumps(runner._to_json(batched[pair]), sort_keys=False)
+                == _json.dumps(runner._to_json(serial[pair]),
+                               sort_keys=False)
+                for pair in serial)
+    finally:
+        runner.clear_memory_cache()
+        if saved is None:
+            del os.environ["REPRO_RESULT_CACHE"]
+        else:
+            os.environ["REPRO_RESULT_CACHE"] = saved
+
+    out = {
+        "workloads": ",".join(workloads),
+        "keys": ",".join(keys),
+        "instructions": instructions,
+        "serial_seconds": round(serial_best, 2),
+        "batched_seconds": round(batched_best, 2),
+        "speedup": round(serial_best / batched_best, 2),
+        "byte_identical": identical,
+    }
+    print(f"  batched sweep: serial {out['serial_seconds']}s, "
+          f"batched {out['batched_seconds']}s "
+          f"({out['speedup']}x, byte_identical={identical})", flush=True)
     return out
 
 
@@ -184,7 +288,27 @@ def main(argv=None):
     parser.add_argument("--fresh", action="store_true",
                         help="discard the previous 'after' numbers instead "
                              "of keeping the best of old and new")
+    parser.add_argument("--sweep-only", action="store_true",
+                        help="measure only the batched sweep and update its "
+                             "section of the trajectory file")
     args = parser.parse_args(argv)
+
+    if args.sweep_only:
+        print("measuring batched sweep (per-job runner vs run_batch)",
+              flush=True)
+        sweep = measure_batched_sweep()
+        existing = (json.loads(args.output.read_text())
+                    if args.output.exists() else {})
+        old = existing.get("batched_sweep")
+        if (not args.fresh and old
+                and old.get("speedup", 0) > sweep["speedup"]
+                and old.get("byte_identical")
+                and sweep["byte_identical"]):
+            sweep = old  # best-of across harness invocations
+        existing["batched_sweep"] = sweep
+        args.output.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {args.output}")
+        return 0 if sweep["byte_identical"] else 1
 
     after = measure(quick=args.quick, jobs=args.jobs)
     if args.quick:
@@ -222,6 +346,8 @@ def main(argv=None):
         "after": after,
         "speedup": _speedups(before, after),
     }
+    if "batched_sweep" in existing:
+        payload["batched_sweep"] = existing["batched_sweep"]
     if "notes" in existing:
         payload["notes"] = existing["notes"]
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

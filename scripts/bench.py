@@ -12,6 +12,12 @@ configuration as ``benchmarks/perf/harness.py`` and compares each key
 against the committed ``BENCH_engine.json`` ``after`` numbers.  Exits
 non-zero if any key regresses by more than ``--threshold`` (default 20%).
 
+Both modes also gate the shared-trace batched engine
+(``run_simulation_batch``): a tsl64+llbp batch must stay bit-identical
+to its serial equivalents and must not be slower than running them
+serially (the committed ``batched_sweep`` section records the full
+multi-key speedup; see ``harness.py --sweep-only``).
+
 ``--smoke`` is for CI runners whose absolute speed has nothing to do with
 the machine that produced the committed baseline: it uses a reduced
 branch count and gates on each key's throughput *relative to*
@@ -51,6 +57,42 @@ KEYS = ("engine-null", "bimodal", "tsl64", "llbp")
 #: enough that the whole job stays in low single-digit minutes on a
 #: shared CI runner.
 SMOKE_INSTRUCTIONS = 150_000
+
+#: Keys for the batched-engine gate: the pair with the deepest sharing
+#: (llbp's internal TSL duplicates tsl64's fold and lookup geometry).
+BATCH_KEYS = ("tsl64", "llbp")
+
+
+def _gate_batched(trace, committed: dict) -> int:
+    """Gate the shared-trace batched path: identity is a hard failure,
+    and the batch must not have become slower than running its members
+    serially (the committed sweep records the real multi-key speedup;
+    this quick check only needs to catch a batched-path regression, so
+    the floor is 1.0x after one best-of retry on this noisy box).
+    """
+    from benchmarks.perf.harness import measure_batched_pass
+
+    serial_s, batched_s, identical = measure_batched_pass(BATCH_KEYS, trace)
+    if not identical:
+        print(f"FAIL: batched {'+'.join(BATCH_KEYS)} results diverged "
+              "from serial run_simulation")
+        return 1
+    speedup = serial_s / batched_s
+    if speedup < 1.0:
+        serial_s, batched_s, identical = measure_batched_pass(
+            BATCH_KEYS, trace, reps=3)
+        if not identical:
+            print("FAIL: batched results diverged from serial on retry")
+            return 1
+        speedup = serial_s / batched_s
+    recorded = committed.get("speedup")
+    status = "ok" if speedup >= 1.0 else "REGRESSED"
+    print(f"  batched      {speedup:.2f}x vs serial (committed sweep: "
+          f"{recorded}x)  bit-identical  {status}")
+    if status != "ok":
+        print("FAIL: batched pass slower than serial equivalents")
+        return 1
+    return 0
 
 
 def _smoke(args, baseline: dict) -> int:
@@ -92,6 +134,8 @@ def _smoke(args, baseline: dict) -> int:
         print(f"FAIL: relative regression in {', '.join(failures)} "
               f"(>{args.threshold:.0%} below baseline ratio)")
         return 1
+    if _gate_batched(trace, args.batched_committed):
+        return 1
     print("PASS: no key regressed beyond threshold (relative gate)")
     return 0
 
@@ -119,6 +163,7 @@ def main(argv=None):
             print(f"no baseline at {BASELINE}; nothing to gate against")
             return 0
         data = json.loads(BASELINE.read_text())
+        args.batched_committed = data.get("batched_sweep", {})
         print(f"smoke bench: {', '.join(KEYS)} "
               f"({SMOKE_INSTRUCTIONS:,} instructions, relative gate)")
         return _smoke(args, data.get("after", {}).get("branches_per_sec", {}))
@@ -164,6 +209,13 @@ def main(argv=None):
     if failures:
         print(f"FAIL: regression in {', '.join(failures)} "
               f"(>{args.threshold:.0%} below baseline)")
+        return 1
+
+    from benchmarks.perf.harness import TRACE_INSTRUCTIONS, TRACE_NAME
+    from repro.workloads.catalog import generate_workload
+
+    trace = generate_workload(TRACE_NAME, TRACE_INSTRUCTIONS)
+    if _gate_batched(trace, data.get("batched_sweep", {})):
         return 1
     print("PASS: no key regressed beyond threshold")
     return 0

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Docs hygiene gate: every relative link in the docs must resolve.
+
+Run from the repo root::
+
+    python scripts/check_links.py
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for markdown
+links and inline ``path``-style references to tracked files, and fails
+(exit 1) listing every relative link whose target does not exist.
+External links (http/https/mailto) and pure anchors are ignored;
+``#fragment`` suffixes on relative links are stripped before checking.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+#: ``[text](target)`` — the standard markdown inline link.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _doc_paths():
+    paths = [REPO_ROOT / name for name in DOC_FILES]
+    paths.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [p for p in paths if p.exists()]
+
+
+def _broken_links(doc: Path):
+    broken = []
+    text = doc.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (doc.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    docs = _doc_paths()
+    failures = 0
+    for doc in docs:
+        for lineno, target in _broken_links(doc):
+            rel = doc.relative_to(REPO_ROOT)
+            print(f"{rel}:{lineno}: broken relative link -> {target}")
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} broken link(s) across {len(docs)} files")
+        return 1
+    print(f"ok: all relative links resolve ({len(docs)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

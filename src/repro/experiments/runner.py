@@ -35,6 +35,7 @@ from repro.predictors.gshare import GShare
 from repro.predictors.perfect import PerfectPredictor
 from repro.predictors.presets import tage_infinite, tsl_64k, tsl_infinite, tsl_scaled
 from repro.sim.engine import run_simulation
+from repro.sim.multi import run_simulation_batch
 from repro.sim.results import SimulationResult
 from repro.workloads.catalog import generate_workload
 
@@ -282,6 +283,43 @@ def get_result(workload: str, key: str,
         _write_cache(_cache_path(workload, instructions, key), result)
     _memory_cache[(workload, key, instructions)] = result
     return result
+
+
+def run_batch(workload: str, keys, instructions: Optional[int] = None):
+    """Simulate many predictors over ``workload`` in one decode pass.
+
+    The counterpart of calling :func:`get_result` once per key, with the
+    trace generated/loaded once and all cache misses simulated by
+    :func:`repro.sim.multi.run_simulation_batch` (bit-identical to the
+    per-key path, caches included).  Keys already cached are returned
+    from cache and excluded from the pass; duplicate keys are simulated
+    once.  Returns one :class:`SimulationResult` per key, in order.
+    """
+    instructions = _resolve_instructions(instructions)
+    results: Dict[str, SimulationResult] = {}
+    missing = []
+    for key in dict.fromkeys(keys):
+        cached = peek_result(workload, key, instructions)
+        if cached is not None:
+            results[key] = cached
+        else:
+            missing.append(key)
+
+    if missing:
+        start = time.perf_counter() if telemetry.enabled() else 0.0
+        trace = generate_workload(workload, instructions)
+        predictors = [resolve_predictor(key) for key in missing]
+        batch = run_simulation_batch(trace, predictors, collect_per_pc=True)
+        seconds = time.perf_counter() - start
+        for key, result in zip(missing, batch):
+            telemetry.emit("runner.result", workload=workload, key=key,
+                           instructions=instructions, source="batched",
+                           batched=len(missing), seconds=seconds)
+            if _cache_enabled():
+                _write_cache(_cache_path(workload, instructions, key), result)
+            _memory_cache[(workload, key, instructions)] = result
+            results[key] = result
+    return [results[key] for key in keys]
 
 
 def run_many(pairs, instructions: Optional[int] = None,

@@ -61,7 +61,9 @@ class LLBPMeta:
 
 
 def _compile_slot_tags(slot_folds, tag_mask: int, values: List[int],
-                       second_values: List[int]):
+                       second_values: List[int],
+                       memo: Optional[List] = None,
+                       seq: Optional[List[int]] = None):
     """Compile an unrolled slot-tag hash: one list literal, no loop.
 
     Per-slot shifts, salts and fold indices are baked in as constants;
@@ -70,15 +72,30 @@ def _compile_slot_tags(slot_folds, tag_mask: int, values: List[int],
     slot's second (width ``ptb - 1``) fold — usually the baseline TAGE's
     own tag-fold list, borrowed rather than duplicated.  Semantically
     identical to looping over ``_slot_folds`` and hashing each slot.
+
+    With ``memo``/``seq`` the hash additionally publishes its result as
+    ``memo[:] = seq[0], pcx, tags`` so the batched engine can hand the
+    list to an identical-geometry LLBP stepped later on the same branch
+    (slot tags are a pure function of the shared history stream).
     """
     exprs = [
         f"(pcx ^ (pcx >> {sh}) ^ values[{ja}] ^ (second[{jb}] << 1)"
         f" ^ {salt}) & {tag_mask}"
         for sh, salt, ja, jb in slot_folds
     ]
-    lines = ["def _slot_tags(pcx, values=values, second=second):",
-             "    return [" + ",\n            ".join(exprs) + "]"]
-    namespace = {"values": values, "second": second_values}
+    body = "[" + ",\n            ".join(exprs) + "]"
+    if memo is None:
+        lines = ["def _slot_tags(pcx, values=values, second=second):",
+                 "    return " + body]
+    else:
+        lines = ["def _slot_tags(pcx, values=values, second=second,"
+                 " memo=memo, seq=seq):",
+                 "    memo[0] = seq[0]",
+                 "    memo[1] = pcx",
+                 "    memo[2] = tags = " + body,
+                 "    return tags"]
+    namespace = {"values": values, "second": second_values,
+                 "memo": memo, "seq": seq}
     exec(compile("\n".join(lines), "<slot-tags>", "exec"), namespace)
     return namespace["_slot_tags"]
 
@@ -137,6 +154,7 @@ class LLBPTageScL(BranchPredictor):
             (h + 2, h * 0x9E5, first_stride * unique[length], second[length])
             for h, length in enumerate(config.slot_lengths)
         ]
+        self._slot_second = second_values
         self._slot_tags = _compile_slot_tags(
             self._slot_folds, (1 << ptb) - 1,
             self.folded.values, second_values)

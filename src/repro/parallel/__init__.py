@@ -3,7 +3,9 @@
 Fans simulation jobs across worker processes with cache-aware dispatch:
 jobs whose results are already cached never reach the pool, duplicate
 jobs are coalesced, and completed results land in both the on-disk
-result cache and the calling process's in-memory cache.
+result cache and the calling process's in-memory cache.  Jobs sharing
+a (workload, instructions) pair are grouped into one batched task that
+decodes the trace once for all of them (``REPRO_BATCH=0`` opts out).
 
 The scheduler is fault-tolerant: failed attempts retry with bounded
 jittered backoff (:mod:`repro.parallel.retry`), hung workers are timed
@@ -16,6 +18,7 @@ deterministically via :mod:`repro.parallel.faults` (``REPRO_FAULTS``).
 from repro.parallel import faults
 from repro.parallel.executor import (
     SimJob,
+    batching_enabled,
     default_jobs,
     make_jobs,
     run_jobs,
@@ -27,6 +30,7 @@ __all__ = [
     "SimJob",
     "RetryPolicy",
     "backoff_delay",
+    "batching_enabled",
     "default_jobs",
     "faults",
     "make_jobs",

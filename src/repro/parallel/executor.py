@@ -1,8 +1,8 @@
 """Process-pool scheduler for simulation jobs, with fault tolerance.
 
-The unit of work is a :class:`SimJob` — one (workload, instructions,
-predictor-key) triple, exactly the granularity of the on-disk result
-cache.  :func:`run_jobs` takes any number of jobs and:
+The unit of *accounting* is a :class:`SimJob` — one (workload,
+instructions, predictor-key) triple, exactly the granularity of the
+on-disk result cache.  :func:`run_jobs` takes any number of jobs and:
 
 1. deduplicates them (figures share baselines like ``tsl64``);
 2. answers what it can from the in-memory and on-disk caches without
@@ -10,22 +10,32 @@ cache.  :func:`run_jobs` takes any number of jobs and:
    corrupt);
 3. coalesces jobs already in flight from an earlier call instead of
    dispatching them twice;
-4. fans the rest across a process pool, where each worker runs the
-   ordinary cached runner (so results are written to the shared disk
-   cache, atomically, as they complete);
+4. groups the rest into :class:`_Task` units — jobs sharing a
+   (workload, instructions) pair, which therefore decode the *same*
+   trace — and fans the tasks across a process pool, where each worker
+   runs the batched cached runner (``runner.run_batch``: one decode
+   pass updates every predictor in the group, bit-identical to running
+   them separately; results land in the shared disk cache atomically);
 5. seeds the parent's in-memory cache with every result, so subsequent
    serial code (``get_result``) never re-simulates.
 
-Failures do not abort the batch.  Each job runs under a
+``REPRO_BATCH=0`` disables the grouping, making every task a single
+job (the pre-batching behaviour, and the granularity the fault plan's
+indices historically referred to).
+
+Failures do not abort the batch.  Each task runs under a
 :class:`~repro.parallel.retry.RetryPolicy`: an attempt that raises is
 retried with bounded, jittered exponential backoff; an attempt that
-exceeds the per-job timeout has its (hung) worker killed and the pool
-rebuilt; a worker that dies mid-job (OOM-kill, segfault) surfaces as a
-broken pool, which is likewise rebuilt and the stranded jobs retried
-without burning their own attempt budget.  If the pool proves
+exceeds its timeout (``policy.timeout`` × the task's job count) has its
+(hung) worker killed and the pool rebuilt; a worker that dies mid-task
+(OOM-kill, segfault) surfaces as a broken pool, which is likewise
+rebuilt and the stranded tasks retried without burning their own
+attempt budget.  A retried task recovers incrementally: members whose
+results were already published to the disk cache answer from it, so
+only the unfinished remainder re-simulates.  If the pool proves
 irrecoverable — more rebuilds than ``policy.max_pool_rebuilds`` — the
 batch degrades to serial in-process execution rather than failing.
-Only a job that exhausts ``max_attempts`` raises to the caller.
+Only a task that exhausts ``max_attempts`` raises to the caller.
 
 Every failure path is exercisable deterministically through
 :mod:`repro.parallel.faults` (``REPRO_FAULTS``), and each recovery
@@ -63,6 +73,50 @@ class SimJob(NamedTuple):
     workload: str
     key: str
     instructions: int
+
+
+class _Task(NamedTuple):
+    """The dispatch unit: jobs sharing one (workload, instructions) pair.
+
+    All members decode the same trace, so a worker runs them as one
+    batched pass (``runner.run_batch``).  The task is also the retry,
+    fault-injection and timeout unit — its deadline scales with its job
+    count — while journal records and result tickets stay per member.
+    """
+
+    jobs: Tuple[SimJob, ...]
+
+    @property
+    def workload(self) -> str:
+        return self.jobs[0].workload
+
+    @property
+    def instructions(self) -> int:
+        return self.jobs[0].instructions
+
+    @property
+    def keys(self) -> str:
+        return ",".join(job.key for job in self.jobs)
+
+
+def batching_enabled() -> bool:
+    """True unless ``REPRO_BATCH=0`` opts out of shared-trace batching."""
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def _make_tasks(jobs: Sequence[SimJob]) -> List[_Task]:
+    """Group jobs into tasks, preserving first-occurrence order.
+
+    With batching disabled every job is its own task, which reproduces
+    the historical one-future-per-job dispatch exactly (fault-plan
+    indices included).
+    """
+    if not batching_enabled():
+        return [_Task((job,)) for job in jobs]
+    groups: Dict[Tuple[str, int], List[SimJob]] = {}
+    for job in jobs:
+        groups.setdefault((job.workload, job.instructions), []).append(job)
+    return [_Task(tuple(group)) for group in groups.values()]
 
 
 def _worker_count(env: str) -> Optional[int]:
@@ -110,15 +164,21 @@ def make_jobs(pairs: Iterable[Tuple[str, str]],
     return [SimJob(w, k, instructions) for w, k in pairs]
 
 
-def _simulate(job: SimJob, fault: Optional[str] = None,
-              in_worker: bool = True) -> SimulationResult:
-    """Worker entry point: run the cached runner for one job.
+def _simulate_task(task: _Task, fault: Optional[str] = None,
+                   in_worker: bool = True) -> List[SimulationResult]:
+    """Worker entry point: run the cached runner for one task.
 
     Module-level so it pickles; imports stay inside so the worker pays
     for them once, after the fork/spawn.  Workers inherit
     ``REPRO_TELEMETRY`` with the rest of the environment and write their
-    events to their own per-pid JSONL file, which is what makes per-job
+    events to their own per-pid JSONL file, which is what makes per-task
     wall time and worker utilization reportable after the run.
+
+    A single-job task goes through ``runner.get_result`` — byte-for-byte
+    the pre-batching worker behaviour — while a multi-job task runs one
+    batched pass via ``runner.run_batch`` (members already in the disk
+    cache, e.g. from an interrupted earlier attempt, are answered from
+    it rather than re-simulated).  Either way the results are identical.
 
     ``fault`` is this attempt's share of the chaos plan, decided by the
     parent (see :mod:`repro.parallel.faults`); it fires before any work
@@ -126,15 +186,25 @@ def _simulate(job: SimJob, fault: Optional[str] = None,
     """
     from repro.experiments import runner
 
-    faults.apply(fault, job, in_worker)
-    if not telemetry.enabled():
-        return runner.get_result(job.workload, job.key, job.instructions)
-    start = time.perf_counter()
-    result = runner.get_result(job.workload, job.key, job.instructions)
-    telemetry.emit("parallel.job", workload=job.workload, key=job.key,
-                   instructions=job.instructions,
-                   seconds=time.perf_counter() - start)
-    return result
+    jobs = task.jobs
+    faults.apply(fault, jobs[0] if len(jobs) == 1 else task, in_worker)
+    timed = telemetry.enabled()
+    start = time.perf_counter() if timed else 0.0
+    if len(jobs) == 1:
+        job = jobs[0]
+        results = [runner.get_result(job.workload, job.key,
+                                     job.instructions)]
+    else:
+        results = runner.run_batch(task.workload, [job.key for job in jobs],
+                                   task.instructions)
+    if timed:
+        event = dict(workload=task.workload, key=task.keys,
+                     instructions=task.instructions,
+                     seconds=time.perf_counter() - start)
+        if len(jobs) > 1:
+            event["batched"] = len(jobs)
+        telemetry.emit("parallel.job", **event)
+    return results
 
 
 class _Ticket:
@@ -234,8 +304,8 @@ def shutdown() -> None:
             ticket.fail(CancelledError("parallel.shutdown()"))
 
 
-class _JobState:
-    """Per-job retry bookkeeping for one owned batch."""
+class _TaskState:
+    """Per-task retry bookkeeping for one owned batch."""
 
     __slots__ = ("attempts", "fault")
 
@@ -250,97 +320,106 @@ def _journal_record(journal, job: SimJob, result: SimulationResult) -> None:
                               result)
 
 
-def _run_serial_attempts(job: SimJob, state: _JobState, policy: RetryPolicy,
-                         journal) -> SimulationResult:
-    """Run one job in-process, honouring its remaining retry budget."""
+def _run_serial_attempts(task: _Task, state: _TaskState, policy: RetryPolicy,
+                         journal) -> List[SimulationResult]:
+    """Run one task in-process, honouring its remaining retry budget."""
     while True:
         try:
-            result = _simulate(job, state.fault.take(), in_worker=False)
+            results = _simulate_task(task, state.fault.take(),
+                                     in_worker=False)
         except KeyboardInterrupt:
             raise
         except Exception as error:
             state.attempts += 1
             if state.attempts >= policy.max_attempts:
                 raise
-            delay = backoff_delay(state.attempts, policy, key=job)
-            telemetry.emit("parallel.retry", workload=job.workload,
-                           key=job.key, attempt=state.attempts,
+            delay = backoff_delay(state.attempts, policy, key=task.jobs[0])
+            telemetry.emit("parallel.retry", workload=task.workload,
+                           key=task.keys, attempt=state.attempts,
                            delay=round(delay, 4), error=type(error).__name__,
                            where="serial")
             time.sleep(delay)
         else:
-            _journal_record(journal, job, result)
-            return result
+            for job, result in zip(task.jobs, results):
+                _journal_record(journal, job, result)
+            return results
 
 
-def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
+def _execute_owned(tasks: Sequence[_Task], tickets: Dict[SimJob, _Ticket],
                    workers: int, policy: RetryPolicy, journal) -> int:
-    """Drive every owned job to a settled ticket; returns pool rebuilds.
+    """Drive every owned task to settled tickets; returns pool rebuilds.
 
-    The loop dispatches ready jobs, waits for completions or the nearest
-    per-job deadline, and turns each failure into either a scheduled
-    retry (with backoff) or a settled error.  Worker death and hung
+    The loop dispatches ready tasks, waits for completions or the
+    nearest deadline, and turns each failure into either a scheduled
+    retry (with backoff) or settled errors.  Worker death and hung
     workers both end in a pool rebuild; past the rebuild budget the
-    remaining jobs finish serially in this process.
+    remaining tasks finish serially in this process.  A task's deadline
+    is ``policy.timeout`` × its job count — it does the work of that
+    many jobs in one pass, so the per-job budget simply accumulates.
     """
-    states = {job: _JobState() for job in jobs}
-    waiting: Set[SimJob] = set(jobs)
-    not_before = {job: 0.0 for job in jobs}
-    running: Dict[Future, SimJob] = {}
+    states = {task: _TaskState() for task in tasks}
+    waiting: Set[_Task] = set(tasks)
+    not_before = {task: 0.0 for task in tasks}
+    running: Dict[Future, _Task] = {}
     deadlines: Dict[Future, float] = {}
     rebuilds = 0
     degraded = False
 
-    def settle_ok(job: SimJob, result: SimulationResult) -> None:
-        _journal_record(journal, job, result)
-        tickets[job].resolve(result)
+    def settle_ok(task: _Task, results: Sequence[SimulationResult]) -> None:
+        for job, result in zip(task.jobs, results):
+            _journal_record(journal, job, result)
+            tickets[job].resolve(result)
 
-    def schedule_retry(job: SimJob, error: BaseException, kind: str,
+    def settle_error(task: _Task, error: BaseException) -> None:
+        for job in task.jobs:
+            tickets[job].fail(error)
+
+    def schedule_retry(task: _Task, error: BaseException, kind: str,
                        charge: bool = True) -> None:
-        """Queue another attempt, or settle the ticket with ``error``.
+        """Queue another attempt, or settle the tickets with ``error``.
 
-        ``charge=False`` is for collateral damage — a job whose worker
-        died because a *different* job killed the pool keeps its own
+        ``charge=False`` is for collateral damage — a task whose worker
+        died because a *different* task killed the pool keeps its own
         attempt budget intact.
         """
-        state = states[job]
+        state = states[task]
         if charge:
             state.attempts += 1
             if state.attempts >= policy.max_attempts:
-                telemetry.emit("parallel.exhausted", workload=job.workload,
-                               key=job.key, attempts=state.attempts,
+                telemetry.emit("parallel.exhausted", workload=task.workload,
+                               key=task.keys, attempts=state.attempts,
                                error=type(error).__name__)
-                tickets[job].fail(error)
+                settle_error(task, error)
                 return
-            delay = backoff_delay(state.attempts, policy, key=job)
-            telemetry.emit("parallel.retry", workload=job.workload,
-                           key=job.key, attempt=state.attempts,
+            delay = backoff_delay(state.attempts, policy, key=task.jobs[0])
+            telemetry.emit("parallel.retry", workload=task.workload,
+                           key=task.keys, attempt=state.attempts,
                            delay=round(delay, 4), error=kind)
-            not_before[job] = time.monotonic() + delay
+            not_before[task] = time.monotonic() + delay
         else:
-            telemetry.emit("parallel.worker_lost", workload=job.workload,
-                           key=job.key)
-            not_before[job] = 0.0
-        waiting.add(job)
+            telemetry.emit("parallel.worker_lost", workload=task.workload,
+                           key=task.keys)
+            not_before[task] = 0.0
+        waiting.add(task)
 
     def rebuild_pool(kill: bool) -> None:
         nonlocal rebuilds, degraded
-        for future, job in running.items():
+        for future, task in running.items():
             if future.done() and not future.cancelled():
                 # Completed between wait() returning and the rebuild:
                 # that is a real outcome — settle it rather than
                 # cancelling and re-running finished work.
                 try:
-                    result = future.result()
+                    results = future.result()
                 except BrokenProcessPool as error:
-                    schedule_retry(job, error, "worker_lost")
+                    schedule_retry(task, error, "worker_lost")
                 except BaseException as error:
-                    schedule_retry(job, error, type(error).__name__)
+                    schedule_retry(task, error, type(error).__name__)
                 else:
-                    settle_ok(job, result)
+                    settle_ok(task, results)
                 continue
             future.cancel()
-            schedule_retry(job, BrokenProcessPool("pool rebuilt"),
+            schedule_retry(task, BrokenProcessPool("pool rebuilt"),
                            "worker_lost", charge=False)
         running.clear()
         deadlines.clear()
@@ -356,52 +435,55 @@ def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
         if degraded:
             break
 
-        # Dispatch jobs whose backoff has elapsed (original order, so
+        # Dispatch tasks whose backoff has elapsed (original order, so
         # the fault plan's indices stay deterministic), keeping at most
-        # ``workers`` futures in flight.  The per-job deadline starts
-        # at submission, so a job queued behind a full pool would burn
+        # ``workers`` futures in flight.  The deadline starts at
+        # submission, so a task queued behind a full pool would burn
         # its timeout budget waiting for a worker instead of running;
         # bounding in-flight work makes submission ≈ execution start.
         now = time.monotonic()
         slots = workers - len(running)
-        ready = [job for job in jobs
-                 if job in waiting and not_before[job] <= now][:max(0, slots)]
+        ready = [task for task in tasks
+                 if task in waiting and not_before[task] <= now]
+        ready = ready[:max(0, slots)]
         if ready:
             try:
                 with _lock:
                     pool = _get_pool(workers)
-                    for job in ready:
-                        future = pool.submit(_simulate, job,
-                                             states[job].fault.take(), True)
-                        waiting.discard(job)
-                        running[future] = job
+                    for task in ready:
+                        future = pool.submit(_simulate_task, task,
+                                             states[task].fault.take(), True)
+                        waiting.discard(task)
+                        running[future] = task
                         _pool_futures.add(future)
                         if policy.timeout is not None:
-                            deadlines[future] = (time.monotonic()
-                                                 + policy.timeout)
+                            deadlines[future] = (
+                                time.monotonic()
+                                + policy.timeout * len(task.jobs))
             except (BrokenProcessPool, RuntimeError):
                 # The pool died before accepting work (submit on a
-                # broken/shut-down executor); jobs not yet submitted
+                # broken/shut-down executor); tasks not yet submitted
                 # are still in ``waiting``.
                 rebuild_pool(kill=True)
                 continue
 
         if not running:
             # Everyone is backing off; sleep until the earliest retry.
-            pause = min(not_before[job] for job in waiting) - time.monotonic()
+            pause = (min(not_before[task] for task in waiting)
+                     - time.monotonic())
             if pause > 0:
                 time.sleep(min(pause, 0.1))
             continue
 
         # Wait for a completion, but wake for the nearest deadline or
         # the nearest *future* backoff expiry, whichever comes first.
-        # A job that is already dispatchable but slot-starved is not a
+        # A task that is already dispatchable but slot-starved is not a
         # wakeup — only a completion can free its slot, so counting it
         # would just busy-poll wait().
         now = time.monotonic()
         wakeups = [d - now for d in deadlines.values()]
-        wakeups += [not_before[job] - now for job in waiting
-                    if not_before[job] > now]
+        wakeups += [not_before[task] - now for task in waiting
+                    if not_before[task] > now]
         timeout = max(0.01, min(wakeups)) if wakeups else None
         done, _ = wait(list(running), timeout=timeout,
                        return_when=FIRST_COMPLETED)
@@ -411,58 +493,59 @@ def _execute_owned(jobs: Sequence[SimJob], tickets: Dict[SimJob, _Ticket],
 
         broken = False
         for future in done:
-            job = running.pop(future)
+            task = running.pop(future)
             deadlines.pop(future, None)
             try:
-                result = future.result()
+                results = future.result()
             except BrokenProcessPool as error:
-                # This job's worker died mid-attempt: that *is* this
-                # job's failure, so it burns an attempt — but the pool
+                # This task's worker died mid-attempt: that *is* this
+                # task's failure, so it burns an attempt — but the pool
                 # is gone for everyone, handled below.
                 broken = True
-                schedule_retry(job, error, "worker_lost")
+                schedule_retry(task, error, "worker_lost")
             except CancelledError as error:
-                schedule_retry(job, error, "cancelled", charge=False)
+                schedule_retry(task, error, "cancelled", charge=False)
             except BaseException as error:
-                schedule_retry(job, error, type(error).__name__)
+                schedule_retry(task, error, type(error).__name__)
             else:
-                settle_ok(job, result)
+                settle_ok(task, results)
         if broken:
             rebuild_pool(kill=True)
             continue
 
-        # Enforce per-job deadlines: a hung worker never returns, so the
-        # only recovery is to kill the pool and retry elsewhere.
+        # Enforce deadlines: a hung worker never returns, so the only
+        # recovery is to kill the pool and retry elsewhere.
         now = time.monotonic()
         expired = [future for future, deadline in deadlines.items()
                    if deadline <= now]
         if expired:
             for future in expired:
-                job = running.pop(future)
+                task = running.pop(future)
                 deadlines.pop(future)
-                telemetry.emit("parallel.timeout", workload=job.workload,
-                               key=job.key, timeout=policy.timeout,
-                               attempt=states[job].attempts + 1)
-                schedule_retry(job, TimeoutError(
-                    f"job {job.workload}/{job.key} exceeded "
-                    f"{policy.timeout}s"), "timeout")
+                telemetry.emit("parallel.timeout", workload=task.workload,
+                               key=task.keys, timeout=policy.timeout,
+                               attempt=states[task].attempts + 1)
+                schedule_retry(task, TimeoutError(
+                    f"task {task.workload}/{task.keys} exceeded "
+                    f"{policy.timeout * len(task.jobs)}s"), "timeout")
             rebuild_pool(kill=True)
 
     if degraded and (waiting or running):
-        remaining = [job for job in jobs
-                     if job in waiting or job in set(running.values())]
-        telemetry.emit("parallel.degraded", remaining=len(remaining),
+        remaining = [task for task in tasks
+                     if task in waiting or task in set(running.values())]
+        telemetry.emit("parallel.degraded",
+                       remaining=sum(len(t.jobs) for t in remaining),
                        rebuilds=rebuilds)
         running.clear()
-        for job in remaining:
-            waiting.discard(job)
+        for task in remaining:
+            waiting.discard(task)
             try:
-                settle_ok(job, _run_serial_attempts(job, states[job],
-                                                    policy, journal=None))
+                settle_ok(task, _run_serial_attempts(task, states[task],
+                                                     policy, journal=None))
             except KeyboardInterrupt:
                 raise
             except Exception as error:
-                tickets[job].fail(error)
+                settle_error(task, error)
     return rebuilds
 
 
@@ -534,11 +617,15 @@ def run_jobs(jobs: Sequence[SimJob],
 
     if max_workers <= 1 or len(pending) == 1:
         # Serial fallback: no pool spin-up for a single miss or -j 1.
-        # _simulate emits the per-job telemetry here too — the "worker"
-        # is simply this process — and the retry policy still applies.
-        for job in pending:
-            results[job] = _run_serial_attempts(job, _JobState(), policy,
-                                                journal)
+        # Grouping still applies — a -j 1 figure run decodes each trace
+        # once — _simulate_task emits the per-task telemetry here too
+        # (the "worker" is simply this process), and the retry policy
+        # still applies.
+        for task in _make_tasks(pending):
+            outcome = _run_serial_attempts(task, _TaskState(), policy,
+                                           journal)
+            for job, result in zip(task.jobs, outcome):
+                results[job] = result
         emit_batch(pending=len(pending), dispatched=len(pending), workers=1)
         return {job: results[job] for job in jobs}
 
@@ -557,8 +644,8 @@ def run_jobs(jobs: Sequence[SimJob],
     rebuilds = 0
     try:
         if owned:
-            rebuilds = _execute_owned(list(owned), tickets, workers, policy,
-                                      journal)
+            rebuilds = _execute_owned(_make_tasks(list(owned)), tickets,
+                                      workers, policy, journal)
     finally:
         with _lock:
             for job, ticket in owned.items():

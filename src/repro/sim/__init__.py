@@ -2,12 +2,14 @@
 
 from repro.sim.results import SimulationResult
 from repro.sim.engine import run_simulation
+from repro.sim.multi import run_simulation_batch
 from repro.sim.core import CoreParams, CoreModel, TimingResult
 from repro.sim.icache import InstructionCache, simulate_icache
 
 __all__ = [
     "SimulationResult",
     "run_simulation",
+    "run_simulation_batch",
     "CoreParams",
     "CoreModel",
     "TimingResult",

@@ -120,7 +120,9 @@ def _summarize_parallel(events: List[Event]) -> Dict[str, Any]:
     for e in jobs:
         w = workers.setdefault(str(e.get("pid")), {"jobs": 0,
                                                    "busy_seconds": 0.0})
-        w["jobs"] += 1
+        # A batched shared-trace task emits one event for N jobs and
+        # carries the member count; account for every job it served.
+        w["jobs"] += int(e.get("batched", 1))
         w["busy_seconds"] += float(e.get("seconds", 0.0))
     for w in workers.values():
         w["busy_seconds"] = round(w["busy_seconds"], 4)

@@ -11,6 +11,13 @@ from repro.traces.types import BranchType, BranchRecord, is_unconditional, is_ca
 from repro.traces.trace import Trace, TraceBuilder
 from repro.traces.io import save_trace, load_trace
 from repro.traces.stats import TraceStats, compute_stats
+from repro.traces.store import (
+    TraceStore,
+    TraceStoreError,
+    pack_trace,
+    read_packed,
+    write_packed,
+)
 
 __all__ = [
     "BranchType",
@@ -24,4 +31,9 @@ __all__ = [
     "load_trace",
     "TraceStats",
     "compute_stats",
+    "TraceStore",
+    "TraceStoreError",
+    "pack_trace",
+    "read_packed",
+    "write_packed",
 ]

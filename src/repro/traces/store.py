@@ -1,0 +1,237 @@
+"""Packed-binary trace store: one decode-ready file per generated trace.
+
+The ``.npz`` cache (:mod:`repro.traces.io`) is a portable interchange
+format, but it is the wrong shape for the batched simulation path: every
+load pays zlib decompression and materialises five freshly allocated
+arrays *per process*, so a pool of workers simulating the same workload
+holds as many private copies of the trace as there are workers.
+
+The store keeps each trace as a flat packed-binary file instead — a
+fixed header, the five column arrays laid out raw (struct-of-arrays, no
+pickle anywhere), and a trailing SHA-256 digest:
+
+    magic "RPTB" | version u16 | name_len u16 | n_records u64
+    | name utf-8 | pad to 16 | pcs u64[n] | targets u64[n]
+    | gaps u16[n] | types u8[n] | takens u8[n] | sha256[32]
+
+Properties the simulator relies on:
+
+* **memory-mapped loading** — :func:`read_packed` maps the file
+  read-only and wraps the columns as zero-copy numpy views, so every
+  worker process simulating the same workload shares one set of
+  physical pages through the page cache instead of holding a private
+  decompressed copy;
+* **content-addressed cache** — :class:`TraceStore` names files by a
+  digest of the full generation request (workload, seed, instruction
+  budget, generator version), so a stale or renamed spec can never
+  answer for a different trace;
+* **atomic publish** — writers stage under a pid-suffixed temp name and
+  ``os.replace`` into place, so concurrent workers generating the same
+  workload never expose a torn file;
+* **corruption detection** — magic, version, length and the trailing
+  digest are all verified on open; any mismatch raises
+  :class:`TraceStoreError`, which the cache turns into a miss (the file
+  is dropped and the trace regenerated).
+
+Telemetry: every cache probe emits ``trace.store_hit`` or
+``trace.store_miss`` (the miss event distinguishes absent files from
+corrupt ones), alongside the pre-existing ``trace.cache`` accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import telemetry
+from repro.traces.trace import Trace
+
+_MAGIC = b"RPTB"
+_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")  # magic, version, name_len, n_records
+_ALIGN = 16
+_DIGEST_BYTES = 32
+
+#: Version of the workload *generator* whose output the store caches;
+#: mirrors the ``-v4`` tag in the legacy ``.npz`` cache file names.  Bump
+#: together with that tag whenever generated traces change.
+TRACE_GENERATION = 4
+
+#: (dtype, per-record bytes) for each column, in on-disk order.  64-bit
+#: columns come first so every offset stays naturally aligned for numpy.
+_COLUMNS = (
+    ("pcs", np.uint64),
+    ("targets", np.uint64),
+    ("gaps", np.uint16),
+    ("types", np.uint8),
+    ("takens", np.uint8),
+)
+
+
+class TraceStoreError(ValueError):
+    """A packed trace file is missing, truncated, or corrupt."""
+
+
+def enabled() -> bool:
+    """Is the packed store the active trace-cache backend?
+
+    ``REPRO_TRACE_STORE=0`` falls back to the legacy ``.npz`` cache.
+    """
+    return os.environ.get("REPRO_TRACE_STORE", "1") != "0"
+
+
+def _padding(offset: int) -> int:
+    return (-offset) % _ALIGN
+
+
+def pack_trace(trace: Trace) -> bytes:
+    """Serialise ``trace`` to the packed binary format (digest included)."""
+    name = trace.name.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise ValueError("trace name too long to pack")
+    parts = [_HEADER.pack(_MAGIC, _FORMAT_VERSION, len(name), len(trace)),
+             name]
+    parts.append(b"\x00" * _padding(sum(map(len, parts))))
+    for column, dtype in _COLUMNS:
+        array = getattr(trace, column)
+        parts.append(np.ascontiguousarray(array, dtype=dtype).tobytes())
+    payload = b"".join(parts)
+    return payload + hashlib.sha256(payload).digest()
+
+
+def write_packed(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` atomically (pid-temp + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(pack_trace(trace))
+        os.replace(tmp, path)
+    except OSError:
+        # The store is a cache; failing to publish must not fail the
+        # run that generated the trace.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _unpack(buffer, path: Path) -> Trace:
+    view = memoryview(buffer)
+    if len(view) < _HEADER.size + _DIGEST_BYTES:
+        raise TraceStoreError(f"{path}: truncated packed trace")
+    magic, version, name_len, n = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise TraceStoreError(f"{path}: not a packed trace (bad magic)")
+    if version != _FORMAT_VERSION:
+        raise TraceStoreError(
+            f"{path}: unsupported packed-trace version {version}")
+    offset = _HEADER.size + name_len
+    offset += _padding(offset)
+    record_bytes = sum(np.dtype(dtype).itemsize for _, dtype in _COLUMNS)
+    expected = offset + n * record_bytes + _DIGEST_BYTES
+    if len(view) != expected:
+        raise TraceStoreError(
+            f"{path}: truncated packed trace "
+            f"({len(view)} bytes, expected {expected})")
+    digest = hashlib.sha256(view[:-_DIGEST_BYTES]).digest()
+    if digest != bytes(view[-_DIGEST_BYTES:]):
+        raise TraceStoreError(f"{path}: digest mismatch (corrupt file)")
+    name = bytes(view[_HEADER.size:_HEADER.size + name_len]).decode("utf-8")
+    columns = {}
+    for column, dtype in _COLUMNS:
+        columns[column] = np.frombuffer(buffer, dtype=dtype, count=n,
+                                        offset=offset)
+        offset += n * np.dtype(dtype).itemsize
+    return Trace(columns["pcs"], columns["types"], columns["takens"],
+                 columns["targets"], columns["gaps"], name=name)
+
+
+def read_packed(path: Union[str, Path], use_mmap: bool = True) -> Trace:
+    """Load a packed trace, verifying its structure and digest.
+
+    With ``use_mmap`` (the default) the column arrays are read-only
+    zero-copy views over a shared memory mapping of the file; without it
+    the file is read into process-private memory.  Raises
+    :class:`TraceStoreError` on any structural or checksum problem.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            if use_mmap:
+                try:
+                    buffer = mmap.mmap(fh.fileno(), 0,
+                                       access=mmap.ACCESS_READ)
+                except (ValueError, OSError):  # empty file / no mmap
+                    buffer = fh.read()
+            else:
+                buffer = fh.read()
+    except OSError as error:
+        raise TraceStoreError(f"{path}: unreadable ({error})") from error
+    return _unpack(buffer, path)
+
+
+def _default_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env) if env else Path.home() / ".cache" / "repro-llbp"
+    return base / "traces"
+
+
+class TraceStore:
+    """Content-addressed on-disk cache of packed workload traces."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else _default_root()
+
+    @staticmethod
+    def key(name: str, seed: int, instructions: int) -> str:
+        """Digest of the full generation request — the content address."""
+        spec = (f"{name}|seed={seed}|instructions={instructions}"
+                f"|gen=v{TRACE_GENERATION}|fmt=v{_FORMAT_VERSION}")
+        return hashlib.sha256(spec.encode()).hexdigest()
+
+    def path_for(self, name: str, seed: int, instructions: int) -> Path:
+        digest = self.key(name, seed, instructions)
+        return self.root / f"{name}-{digest[:16]}.rpt"
+
+    def load(self, name: str, seed: int,
+             instructions: int) -> Optional[Trace]:
+        """Return the cached trace, or ``None`` on a miss.
+
+        A structurally invalid or checksum-failing file is removed and
+        reported as a miss, so the caller regenerates over it.
+        """
+        path = self.path_for(name, seed, instructions)
+        if not path.exists():
+            telemetry.emit("trace.store_miss", workload=name,
+                           instructions=instructions, reason="absent")
+            return None
+        try:
+            trace = read_packed(path)
+        except TraceStoreError as error:
+            telemetry.emit("trace.store_miss", workload=name,
+                           instructions=instructions, reason="corrupt",
+                           error=str(error))
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        telemetry.emit("trace.store_hit", workload=name,
+                       instructions=instructions,
+                       records=len(trace), path=str(path))
+        return trace
+
+    def store(self, trace: Trace, name: str, seed: int,
+              instructions: int) -> Path:
+        """Publish ``trace`` under its content address; returns the path."""
+        path = self.path_for(name, seed, instructions)
+        write_packed(trace, path)
+        return path

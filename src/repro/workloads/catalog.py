@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro import telemetry
+from repro.traces import store
 from repro.traces.io import load_trace, save_trace
 from repro.traces.trace import Trace
 from repro.workloads.builder import WorkloadSpec, build_program
@@ -157,21 +158,39 @@ def generate_workload(
     use_cache: bool = True,
     cache_dir: Optional[Path] = None,
 ) -> Trace:
-    """Generate (or load from cache) the trace for workload ``name``."""
+    """Generate (or load from cache) the trace for workload ``name``.
+
+    The cache backend is the packed-binary store (:mod:`repro.traces.store`)
+    — content-addressed, checksum-verified, memory-mapped on load so
+    concurrent workers share pages.  ``REPRO_TRACE_STORE=0`` falls back to
+    the legacy ``.npz`` cache; either way a corrupt cache entry is treated
+    as a miss and regenerated, never trusted.
+    """
     spec = get_spec(name)
+    trace_store = None
     cache_path = None
     if use_cache:
         directory = cache_dir if cache_dir is not None else _cache_dir()
-        cache_path = directory / f"{name}-s{spec.seed}-i{instructions}-v4.npz"
-        if cache_path.exists():
-            telemetry.emit("trace.cache", workload=name,
-                           instructions=instructions, hit=True)
-            return load_trace(cache_path)
+        if store.enabled():
+            trace_store = store.TraceStore(directory / "traces")
+            cached = trace_store.load(name, spec.seed, instructions)
+            if cached is not None:
+                telemetry.emit("trace.cache", workload=name,
+                               instructions=instructions, hit=True)
+                return cached
+        else:
+            cache_path = directory / f"{name}-s{spec.seed}-i{instructions}-v4.npz"
+            if cache_path.exists():
+                telemetry.emit("trace.cache", workload=name,
+                               instructions=instructions, hit=True)
+                return load_trace(cache_path)
     start = time.perf_counter() if telemetry.enabled() else 0.0
     program = build_program(spec)
     trace = generate_trace(program, instructions, seed=spec.seed, name=name)
     telemetry.emit("trace.cache", workload=name, instructions=instructions,
                    hit=False, seconds=time.perf_counter() - start)
-    if cache_path is not None:
+    if trace_store is not None:
+        trace_store.store(trace, name, spec.seed, instructions)
+    elif cache_path is not None:
         save_trace(trace, cache_path)
     return trace

@@ -75,6 +75,9 @@ class TestRunJobs:
             assert serial == by_job[job]
 
     def test_duplicate_jobs_run_once(self, isolated_caches, monkeypatch):
+        # REPRO_BATCH=0 keeps one get_result call per unique job; the
+        # batched path would fold both into a single run_batch call.
+        monkeypatch.setenv("REPRO_BATCH", "0")
         calls = []
         real = runner.get_result
 
@@ -128,6 +131,10 @@ class TestScheduling:
 
         from repro.parallel import executor
 
+        # Six one-job tasks: batching would collapse the six jobs into
+        # two tasks, leaving the slot bound nothing to push against.
+        monkeypatch.setenv("REPRO_BATCH", "0")
+
         lock = threading.Lock()
         outstanding = set()
         peaks = []
@@ -173,6 +180,66 @@ class TestScheduling:
         big = parallel.make_jobs([("NodeApp", key) for key in KEYS])
         parallel.run_jobs(big, max_workers=3)
         assert executor._pool_workers == 3
+
+
+class TestBatching:
+    """Shared-trace task grouping (the REPRO_BATCH knob)."""
+
+    def test_jobs_group_by_workload_and_budget(self):
+        from repro.parallel import executor
+
+        jobs = [
+            parallel.SimJob("Kafka", "bimodal", 100),
+            parallel.SimJob("NodeApp", "bimodal", 100),
+            parallel.SimJob("Kafka", "gshare", 100),
+            parallel.SimJob("Kafka", "bimodal", 200),  # other budget
+        ]
+        tasks = executor._make_tasks(jobs)
+        assert [[j.key for j in t.jobs] for t in tasks] == [
+            ["bimodal", "gshare"], ["bimodal"], ["bimodal"]]
+        assert [(t.workload, t.instructions) for t in tasks] == [
+            ("Kafka", 100), ("NodeApp", 100), ("Kafka", 200)]
+
+    def test_disabled_by_env(self, monkeypatch):
+        from repro.parallel import executor
+
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        assert not parallel.batching_enabled()
+        jobs = parallel.make_jobs([("Kafka", key) for key in KEYS],
+                                  instructions=100)
+        tasks = executor._make_tasks(jobs)
+        assert [t.jobs for t in tasks] == [(job,) for job in jobs]
+
+    def test_batched_run_matches_serial(self, isolated_caches, monkeypatch):
+        """The whole point: one decode pass per workload must be
+        bit-identical to the per-job path, end to end."""
+        jobs = parallel.make_jobs([(workload, key)
+                                   for workload in ("Kafka", "NodeApp")
+                                   for key in KEYS])
+        by_job = parallel.run_jobs(jobs, max_workers=2)
+
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        runner.clear_memory_cache()
+        for job in jobs:
+            serial = runner.get_result(job.workload, job.key,
+                                       job.instructions)
+            assert serial == by_job[job]
+
+    def test_serial_fallback_batches_too(self, isolated_caches, monkeypatch):
+        """-j 1 still decodes each workload trace once per group."""
+        calls = []
+        real = runner.run_batch
+
+        def counting(workload, keys, instructions=None):
+            calls.append((workload, tuple(keys)))
+            return real(workload, keys, instructions)
+
+        monkeypatch.setattr(runner, "run_batch", counting)
+        jobs = parallel.make_jobs([("Kafka", key) for key in KEYS])
+        by_job = parallel.run_jobs(jobs, max_workers=1)
+        assert calls == [("Kafka", KEYS)]
+        assert set(by_job) == set(jobs)
 
 
 class TestRunMany:

@@ -39,6 +39,10 @@ def chaos_env(isolated_caches, tmp_path, monkeypatch):
     directory = tmp_path / "telemetry"
     monkeypatch.setenv("REPRO_TELEMETRY", str(directory))
     monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "45")
+    # Fault-plan indices below refer to individual jobs in dispatch
+    # order, the pre-batching granularity; shared-trace batching (which
+    # makes the *task* the dispatch unit) has its own chaos class.
+    monkeypatch.setenv("REPRO_BATCH", "0")
     faults.reset()
     yield directory
     faults.reset()
@@ -128,6 +132,43 @@ class TestHungWorker:
         assert timeout["timeout"] == 3.0
         assert events("parallel.pool_rebuild")
         _assert_matches_clean_serial(by_job, monkeypatch)
+
+
+class TestBatchedChaos:
+    """The failure promises hold when the dispatch unit is a batched
+    task: a fault takes down the whole shared-trace pass, and recovery
+    must still converge on bit-identical results."""
+
+    def test_raise_retries_whole_task(self, events, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        faults.install("raise@0")  # index 0 = the single Kafka task
+        by_job = parallel.run_jobs(_jobs(), max_workers=2,
+                                   policy=RetryPolicy(**FAST))
+        (retry,) = events("parallel.retry")
+        assert retry["error"] == "FaultInjected"
+        assert set(retry["key"].split(",")) == set(KEYS)
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+    def test_killed_worker_task_recovers(self, events, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        faults.install("kill@0")
+        by_job = parallel.run_jobs(
+            parallel.make_jobs([(workload, key)
+                                for workload in ("Kafka", "NodeApp")
+                                for key in ("bimodal", "gshare")]),
+            max_workers=2, policy=RetryPolicy(**FAST))
+        assert events("parallel.pool_rebuild")
+        assert len(by_job) == 4
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+    def test_batched_task_emits_one_job_event(self, events, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        by_job = parallel.run_jobs(_jobs(), max_workers=2,
+                                   policy=RetryPolicy(**FAST))
+        (event,) = events("parallel.job")
+        assert event["batched"] == len(KEYS)
+        assert set(event["key"].split(",")) == set(KEYS)
+        assert len(by_job) == len(KEYS)
 
 
 class TestFig09StyleChaosRun:

@@ -1,0 +1,119 @@
+"""Batched multi-predictor engine: bit-identical to serial simulation.
+
+``run_simulation_batch`` shares the trace decode, the folded-history
+registers, and the lookup hashes across members — all of which are pure
+functions of the branch stream — so the only acceptable outcome is full
+:class:`SimulationResult` equality with N independent
+:func:`run_simulation` calls, per-PC dictionaries (and their insertion
+order, which the cached JSON bytes depend on) included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import resolve_predictor
+from repro.sim.engine import run_simulation
+from repro.sim.multi import (
+    install_fold_sharing,
+    install_lookup_sharing,
+    run_simulation_batch,
+)
+
+#: The acceptance mix: a non-TAGE member, the TAGE-SC-L baseline, and
+#: LLBP (whose internal TSL shares fold geometry with the baseline).
+KEYS = ("gshare", "tsl64", "llbp")
+
+
+def _serial(trace, key):
+    return run_simulation(trace, resolve_predictor(key),
+                          collect_per_pc=True)
+
+
+def _batch(trace, keys):
+    return run_simulation_batch(trace, [resolve_predictor(k) for k in keys],
+                                collect_per_pc=True)
+
+
+class TestBitIdentical:
+    def test_acceptance_mix(self, tiny_workload_trace):
+        batch = _batch(tiny_workload_trace, KEYS)
+        for key, batched in zip(KEYS, batch):
+            serial = _serial(tiny_workload_trace, key)
+            assert batched == serial, f"batched {key} diverged"
+            # Dict equality ignores order, but the cached JSON bytes do
+            # not: insertion order must match the serial engine's too.
+            assert (list(batched.per_pc_mispredictions)
+                    == list(serial.per_pc_mispredictions))
+            assert (list(batched.per_pc_executions)
+                    == list(serial.per_pc_executions))
+
+    def test_scaled_and_lat0_members(self, tiny_workload_trace):
+        """tsl512 shares every fold register with tsl64 (its index folds
+        coincide with the (L, 11) tag folds), and llbp:lat0 shares
+        geometry with llbp — the heaviest-sharing configurations must
+        still match their serial runs exactly."""
+        keys = ("tsl64", "tsl512", "llbp", "llbp:lat0")
+        batch = _batch(tiny_workload_trace, keys)
+        for key, batched in zip(keys, batch):
+            assert batched == _serial(tiny_workload_trace, key), key
+
+    def test_perfect_and_bimodal_members(self, pattern_trace):
+        keys = ("perfect", "bimodal", "gshare")
+        batch = _batch(pattern_trace, keys)
+        for key, batched in zip(keys, batch):
+            assert batched == _serial(pattern_trace, key), key
+
+    def test_singleton_batch(self, mixed_trace):
+        (batched,) = _batch(mixed_trace, ("tsl64",))
+        assert batched == _serial(mixed_trace, "tsl64")
+
+    def test_without_per_pc_collection(self, mixed_trace):
+        (batched,) = run_simulation_batch(
+            mixed_trace, [resolve_predictor("gshare")])
+        serial = run_simulation(mixed_trace, resolve_predictor("gshare"))
+        assert batched == serial
+        assert batched.per_pc_executions == {}
+
+
+class TestBatchContract:
+    def test_empty_batch(self, mixed_trace):
+        assert run_simulation_batch(mixed_trace, []) == []
+
+    def test_duplicate_instances_rejected(self, mixed_trace):
+        predictor = resolve_predictor("gshare")
+        with pytest.raises(ValueError, match="distinct"):
+            run_simulation_batch(mixed_trace, [predictor, predictor])
+
+    def test_members_keep_private_state(self, tiny_workload_trace):
+        """Two instances of the *same* configuration in one batch must
+        behave like two serial runs — sharing covers stream-determined
+        values only, never predictor tables."""
+        first, second = (resolve_predictor("tsl64"),
+                         resolve_predictor("tsl64"))
+        batch = run_simulation_batch(tiny_workload_trace, [first, second],
+                                     collect_per_pc=True)
+        serial = _serial(tiny_workload_trace, "tsl64")
+        assert batch[0] == serial
+        assert batch[1] == serial
+
+
+class TestSharingInstallers:
+    def test_fold_sharing_rewires_duplicate_geometry(self):
+        predictors = [resolve_predictor(k)
+                      for k in ("tsl64", "llbp", "gshare")]
+        assert install_fold_sharing(predictors) > 0
+
+    def test_fold_sharing_skips_non_stream_driven(self):
+        predictors = [resolve_predictor(k) for k in ("gshare", "bimodal")]
+        assert install_fold_sharing(predictors) == 0
+
+    def test_lookup_sharing_groups_identical_geometry(self):
+        predictors = [resolve_predictor(k) for k in ("tsl64", "llbp")]
+        # llbp's internal 64K TSL has tsl64's TAGE geometry: one
+        # follower match core gets rewired.
+        assert install_lookup_sharing(predictors, [0]) == 1
+
+    def test_lookup_sharing_no_group_of_one(self):
+        predictors = [resolve_predictor(k) for k in ("tsl64", "gshare")]
+        assert install_lookup_sharing(predictors, [0]) == 0
