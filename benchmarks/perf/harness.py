@@ -14,6 +14,11 @@ Two measurements feed the perf trajectory file ``BENCH_engine.json``:
 * ``fig09_seconds`` — end-to-end ``fig09.run()`` with a cold result cache
   (traces pre-generated off the clock), i.e. what a user waits for.
 
+Full mode also measures the ``array_engine`` section: branches/sec for
+the keys the array engine runs natively, each verified bit-identical to
+the Python engine in the same invocation (``bit_identical`` records the
+verdict, ``speedup_vs_python`` the ratio against ``after``).
+
 Best-of-N is deliberate: on shared/noisy machines the *minimum* runtime is
 the least contaminated estimate of the code's true cost.  The committed
 ``BENCH_engine.json`` keeps the pre-optimization numbers under ``before``
@@ -43,6 +48,10 @@ FIG09_INSTRUCTIONS = 200_000
 
 FULL_KEYS = ("engine-null", "bimodal", "gshare", "tsl64", "llbp")
 QUICK_KEYS = ("engine-null", "bimodal", "tsl64", "llbp")
+
+#: Keys the array engine supports natively (everything else falls back
+#: to the Python loop, so measuring it there would be meaningless).
+ARRAY_KEYS = ("gshare", "tsl64", "llbp")
 
 # Batched-sweep configuration: a fig09-style grid — several workloads,
 # the TAGE-SC-L baseline, both LLBP timing variants, and the scaled
@@ -77,9 +86,9 @@ def _null_predictor():
 def _predictor(key):
     if key == "engine-null":
         return _null_predictor()
-    from repro.experiments.runner import resolve_predictor
+    from repro.predictors.registry import make_predictor
 
-    return resolve_predictor(key)
+    return make_predictor(key)
 
 
 def measure_branches_per_sec(keys=FULL_KEYS, reps=5, trace=None):
@@ -100,6 +109,47 @@ def measure_branches_per_sec(keys=FULL_KEYS, reps=5, trace=None):
         out[key] = round(best)
         print(f"  {key:<12} {out[key]:>12,} branches/sec", flush=True)
     return out
+
+
+def measure_array_engine(keys=ARRAY_KEYS, reps=5, trace=None):
+    """Array-engine branches/sec per key plus a bit-identity verdict.
+
+    Identity is checked once per key against the Python engine with
+    per-PC collection on (full ``SimulationResult`` equality including
+    dict insertion order); throughput is then best-of-``reps`` without
+    per-PC collection, matching how ``measure_branches_per_sec`` times
+    the Python engine.  The first rep pays the column precompute; the
+    best-of discards it, mirroring a warm result cache.
+    """
+    from repro.sim.engine import run_simulation
+    from repro.workloads.catalog import generate_workload
+
+    if trace is None:
+        trace = generate_workload(TRACE_NAME, TRACE_INSTRUCTIONS)
+    rates = {}
+    identical = True
+    for key in keys:
+        ref = run_simulation(trace, _predictor(key), engine="python",
+                             collect_per_pc=True)
+        res = run_simulation(trace, _predictor(key), engine="array",
+                             collect_per_pc=True)
+        same = (
+            res == ref
+            and list(res.per_pc_mispredictions.items())
+            == list(ref.per_pc_mispredictions.items())
+            and list(res.per_pc_executions.items())
+            == list(ref.per_pc_executions.items()))
+        identical = identical and same
+        best = 0.0
+        for _ in range(reps):
+            predictor = _predictor(key)  # fresh tables every rep
+            t0 = time.perf_counter()
+            run_simulation(trace, predictor, engine="array")
+            best = max(best, len(trace) / (time.perf_counter() - t0))
+        rates[key] = round(best)
+        print(f"  {key:<12} {rates[key]:>12,} branches/sec (array)  "
+              f"{'bit-identical' if same else 'DIVERGED'}", flush=True)
+    return {"branches_per_sec": rates, "bit_identical": identical}
 
 
 def measure_batched_pass(keys, trace, reps=2):
@@ -331,6 +381,23 @@ def main(argv=None):
                 "fig09_seconds" not in after
                 or old["fig09_seconds"] < after["fig09_seconds"]):
             after["fig09_seconds"] = old["fig09_seconds"]
+
+    print("measuring array engine", flush=True)
+    array_section = measure_array_engine()
+    old_array = existing.get("array_engine")
+    if (not args.fresh and old_array
+            and old_array.get("bit_identical")
+            and array_section["bit_identical"]):
+        # Same best-of-across-invocations policy as the Python numbers.
+        for key, val in old_array.get("branches_per_sec", {}).items():
+            cur = array_section["branches_per_sec"].get(key)
+            if cur is None or val > cur:
+                array_section["branches_per_sec"][key] = val
+    array_section["speedup_vs_python"] = {
+        key: round(val / after["branches_per_sec"][key], 2)
+        for key, val in array_section["branches_per_sec"].items()
+        if after["branches_per_sec"].get(key)
+    }
     before = existing.get("before") or after
     payload = {
         "meta": {
@@ -345,6 +412,7 @@ def main(argv=None):
         "before": before,
         "after": after,
         "speedup": _speedups(before, after),
+        "array_engine": array_section,
     }
     if "batched_sweep" in existing:
         payload["batched_sweep"] = existing["batched_sweep"]

@@ -18,6 +18,14 @@ to its serial equivalents and must not be slower than running them
 serially (the committed ``batched_sweep`` section records the full
 multi-key speedup; see ``harness.py --sweep-only``).
 
+Both modes additionally gate the array engine (``repro.sim.array``):
+bit-identity to the Python engine is a hard failure in either mode; the
+full gate also checks the committed ``array_engine`` numbers hold the
+≥5x floor over the committed Python ``after`` numbers and that a live
+measurement stays within the threshold of them, while the smoke gate
+compares the array/engine-null throughput ratio against the committed
+one so runner speed cancels out.
+
 ``--smoke`` is for CI runners whose absolute speed has nothing to do with
 the machine that produced the committed baseline: it uses a reduced
 branch count and gates on each key's throughput *relative to*
@@ -95,6 +103,122 @@ def _gate_batched(trace, committed: dict) -> int:
     return 0
 
 
+#: Acceptance floor for the committed array-engine numbers: the array
+#: engine must be at least this many times faster than the committed
+#: Python-engine "after" numbers for the hot predictor families.
+ARRAY_SPEEDUP_FLOOR = 5.0
+ARRAY_GATE_KEYS = ("tsl64", "llbp")
+
+
+def _gate_array(trace, data: dict, threshold: float) -> int:
+    """Gate the array engine: identity is a hard failure; throughput is
+    gated two ways — the *committed* ``array_engine`` numbers must hold
+    the ≥5x acceptance floor over the committed Python ``after`` numbers
+    (a deterministic check on the recorded trajectory), and the *live*
+    measurement must stay within ``threshold`` of the committed array
+    numbers (with one best-of retry, same policy as every other gate on
+    this noisy box).
+    """
+    from benchmarks.perf.harness import measure_array_engine
+
+    committed = data.get("array_engine", {})
+    committed_rates = committed.get("branches_per_sec", {})
+    after_rates = data.get("after", {}).get("branches_per_sec", {})
+    if not committed_rates:
+        print("no committed array_engine section; run "
+              "benchmarks/perf/harness.py to record one")
+        return 1
+
+    failures = []
+    for key in ARRAY_GATE_KEYS:
+        base, python_rate = committed_rates.get(key), after_rates.get(key)
+        if not base or not python_rate:
+            print(f"  array:{key:<6} missing committed numbers")
+            failures.append(key)
+            continue
+        floor = python_rate * ARRAY_SPEEDUP_FLOOR
+        if base < floor:
+            print(f"  array:{key:<6} committed {base:,} < {floor:,.0f} "
+                  f"({ARRAY_SPEEDUP_FLOOR:.0f}x python after)  REGRESSED")
+            failures.append(key)
+
+    measured = measure_array_engine(ARRAY_GATE_KEYS, reps=2, trace=trace)
+    if not measured["bit_identical"]:
+        print("FAIL: array engine diverged from the Python engine")
+        return 1
+    for key in ARRAY_GATE_KEYS:
+        base = committed_rates.get(key)
+        if not base or key in failures:
+            continue
+        now = measured["branches_per_sec"][key]
+        if now < base * (1 - threshold):
+            print(f"  array:{key:<6} below threshold, retrying")
+            retry = measure_array_engine((key,), reps=4, trace=trace)
+            if not retry["bit_identical"]:
+                print("FAIL: array engine diverged on retry")
+                return 1
+            now = max(now, retry["branches_per_sec"][key])
+        status = "ok" if now >= base * (1 - threshold) else "REGRESSED"
+        print(f"  array:{key:<6} {now:>12,} vs committed {base:>12,}  "
+              f"({now / base:.2f}x)  bit-identical  {status}")
+        if status != "ok":
+            failures.append(key)
+
+    if failures:
+        print(f"FAIL: array engine gate failed for {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def _smoke_array(trace, data: dict, threshold: float) -> int:
+    """Smoke-mode array gate: bit-identity (hard) plus throughput
+    relative to this run's engine-null, compared against the committed
+    array/null ratio — absolute speed of the runner cancels out.
+    """
+    from benchmarks.perf.harness import (measure_array_engine,
+                                         measure_branches_per_sec)
+
+    committed_rates = data.get("array_engine", {}).get("branches_per_sec", {})
+    null_base = data.get("after", {}).get("branches_per_sec", {}).get(
+        "engine-null")
+    if not committed_rates or not null_base:
+        print("no committed array_engine/engine-null numbers; skipping "
+              "array smoke gate")
+        return 0
+
+    null_now = measure_branches_per_sec(("engine-null",), reps=2,
+                                        trace=trace)["engine-null"]
+    measured = measure_array_engine(ARRAY_GATE_KEYS, reps=2, trace=trace)
+    if not measured["bit_identical"]:
+        print("FAIL: array engine diverged from the Python engine")
+        return 1
+
+    failures = []
+    for key in ARRAY_GATE_KEYS:
+        base = committed_rates.get(key)
+        if not base:
+            continue
+        base_ratio = base / null_base
+        now_ratio = measured["branches_per_sec"][key] / null_now
+        if now_ratio < base_ratio * (1 - threshold):
+            retry = measure_array_engine((key,), reps=4, trace=trace)
+            if not retry["bit_identical"]:
+                print("FAIL: array engine diverged on retry")
+                return 1
+            now_ratio = max(now_ratio,
+                            retry["branches_per_sec"][key] / null_now)
+        status = ("ok" if now_ratio >= base_ratio * (1 - threshold)
+                  else "REGRESSED")
+        print(f"  array:{key:<6} {now_ratio:.3f}x of engine-null vs "
+              f"baseline {base_ratio:.3f}x  bit-identical  {status}")
+        if status != "ok":
+            failures.append(key)
+    if failures:
+        print(f"FAIL: array smoke gate failed for {', '.join(failures)}")
+        return 1
+    return 0
+
+
 def _smoke(args, baseline: dict) -> int:
     """Relative gate: key throughput normalized by this run's engine-null."""
     from benchmarks.perf.harness import TRACE_NAME, measure_branches_per_sec
@@ -136,6 +260,8 @@ def _smoke(args, baseline: dict) -> int:
         return 1
     if _gate_batched(trace, args.batched_committed):
         return 1
+    if _smoke_array(trace, args.data, args.threshold):
+        return 1
     print("PASS: no key regressed beyond threshold (relative gate)")
     return 0
 
@@ -164,6 +290,7 @@ def main(argv=None):
             return 0
         data = json.loads(BASELINE.read_text())
         args.batched_committed = data.get("batched_sweep", {})
+        args.data = data
         print(f"smoke bench: {', '.join(KEYS)} "
               f"({SMOKE_INSTRUCTIONS:,} instructions, relative gate)")
         return _smoke(args, data.get("after", {}).get("branches_per_sec", {}))
@@ -216,6 +343,8 @@ def main(argv=None):
 
     trace = generate_workload(TRACE_NAME, TRACE_INSTRUCTIONS)
     if _gate_batched(trace, data.get("batched_sweep", {})):
+        return 1
+    if _gate_array(trace, data, args.threshold):
         return 1
     print("PASS: no key regressed beyond threshold")
     return 0

@@ -3,14 +3,18 @@
 Usage::
 
     python -m repro.experiments [fig01 fig02 ... table3] [--jobs N]
-                                [--telemetry [DIR]] [--resume]
-                                [--retries N] [--job-timeout S]
+                                [--engine NAME] [--telemetry [DIR]]
+                                [--resume] [--retries N] [--job-timeout S]
 
 With no experiment names every experiment runs (simulation results are
 cached, so reruns are cheap).  ``--jobs`` controls how many worker
 processes prewarm the result cache before the (serial) formatting pass;
 it defaults to the CPU count, or REPRO_JOBS when set.  Honours
 REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
+
+``--engine array`` (or ``REPRO_ENGINE=array``) runs every simulation on
+the array engine — bit-identical results, several times faster for the
+TAGE-SC-L/LLBP families; the Python engine stays the default oracle.
 
 The run is fault-tolerant: failed simulations retry with backoff
 (``--retries`` / REPRO_RETRIES), hung workers are killed after
@@ -31,10 +35,12 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 
 from repro import parallel, telemetry
+from repro.sim import engine as engine_mod
 from repro.experiments import (
     fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
     fig15, tables,
@@ -121,6 +127,12 @@ def main(argv) -> int:
                         default=None, metavar="DIR",
                         help="record structured run telemetry as JSONL "
                              "under DIR (default: ./telemetry)")
+    parser.add_argument("--engine", choices=engine_mod.ENGINES,
+                        default=None,
+                        help="simulation engine for every run (default: "
+                             "REPRO_ENGINE or python); the array engine "
+                             "is bit-identical where supported and falls "
+                             "back to python elsewhere")
     parser.add_argument("--resume", action="store_true",
                         help="continue an interrupted run: skip every "
                              "simulation the checkpoint journal records "
@@ -145,6 +157,11 @@ def main(argv) -> int:
     if args.telemetry is not None:
         # Via the environment, so prewarm workers inherit it.
         telemetry.configure(args.telemetry)
+
+    if args.engine is not None:
+        # Also via the environment: run_simulation consults REPRO_ENGINE
+        # in-process and in every prewarm worker.
+        os.environ[engine_mod.ENGINE_ENV_VAR] = args.engine
 
     policy = RetryPolicy.from_env()
     overrides = {}

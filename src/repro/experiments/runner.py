@@ -1,16 +1,10 @@
-"""Predictor registry and the cached simulation runner.
+"""The cached simulation runner (and deprecated predictor-key shims).
 
 Predictor keys are strings so results can be cached on disk and shared
-across figures.  Plain keys name the paper's standard configurations;
-``llbp`` keys accept a parameter suffix for the sensitivity studies:
-
-    llbp                       the evaluated design (timed prefetch)
-    llbp:lat0                  LLBP-0Lat
-    llbp:lat0,w=16,d=0         context window / prefetch distance override
-    llbp:src=callret           RCR source (uncond | callret | all)
-    llbp:cd_bits=10,ps=32      directory sets / patterns per set
-    llbp:unbucketed,lru        ablation switches
-    llbp:exclusive             the paper's exclusive provider training
+across figures; the key grammar now lives in
+:mod:`repro.predictors.registry` (``parse_key`` / ``make_predictor``).
+The ``resolve_predictor`` / ``_parse_llbp_key`` helpers that used to
+define it here remain as thin shims that emit ``DeprecationWarning``.
 
 Results are cached under the cache directory keyed by (workload,
 instructions, key, RESULTS_VERSION); bump RESULTS_VERSION whenever
@@ -19,21 +13,17 @@ predictor or workload behaviour changes.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import time
+import warnings
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro import telemetry
-from repro.llbp.config import ContextSource, LLBPConfig
-from repro.llbp.predictor import LLBPTageScL
+from repro.llbp.config import LLBPConfig
+from repro.predictors import registry
 from repro.predictors.base import BranchPredictor
-from repro.predictors.bimodal import Bimodal
-from repro.predictors.gshare import GShare
-from repro.predictors.perfect import PerfectPredictor
-from repro.predictors.presets import tage_infinite, tsl_64k, tsl_infinite, tsl_scaled
 from repro.sim.engine import run_simulation
 from repro.sim.multi import run_simulation_batch
 from repro.sim.results import SimulationResult
@@ -41,87 +31,23 @@ from repro.workloads.catalog import generate_workload
 
 RESULTS_VERSION = 6  # v6: prefetch_delivered joined SimulationResult.extra
 
-_SIMPLE_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
-    "bimodal": Bimodal,
-    "gshare": GShare,
-    "perfect": PerfectPredictor,
-    "tsl64": tsl_64k,
-    "tsl128": lambda: tsl_scaled(2),
-    "tsl256": lambda: tsl_scaled(4),
-    "tsl512": lambda: tsl_scaled(8),
-    "tsl1m": lambda: tsl_scaled(16),
-    "inf-tage": tage_infinite,
-    "inf-tsl": tsl_infinite,
-}
-
-_SOURCES = {
-    "uncond": ContextSource.UNCONDITIONAL,
-    "callret": ContextSource.CALL_RET,
-    "all": ContextSource.ALL,
-}
-
 
 def _parse_llbp_key(spec: str) -> LLBPConfig:
-    config = LLBPConfig()
-    if not spec:
-        return config
-    changes: Dict[str, object] = {}
-    for token in spec.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        if token == "lat0":
-            changes["simulate_timing"] = False
-        elif token == "virt":
-            # §V-A's future-work variant: pattern sets live in the L2
-            # rather than a dedicated array, so fetches pay an L2-like
-            # latency instead of the 6-cycle dedicated-array access.
-            changes["prefetch_latency_cycles"] = 16
-        elif token == "unbucketed":
-            changes["bucketed"] = False
-        elif token == "lru":
-            changes["cd_replacement"] = "lru"
-        elif token == "exclusive":
-            changes["exclusive_provider_training"] = True
-        elif token == "frontend":
-            changes["model_frontend_redirects"] = True
-        elif token == "noguard":
-            changes["weak_override_guard"] = False
-        elif "=" in token:
-            name, value = token.split("=", 1)
-            if name == "w":
-                changes["context_window"] = int(value)
-            elif name == "d":
-                changes["prefetch_distance"] = int(value)
-            elif name == "src":
-                changes["context_source"] = _SOURCES[value]
-            elif name == "cd_bits":
-                changes["cd_set_bits"] = int(value)
-            elif name == "ps":
-                changes["patterns_per_set"] = int(value)
-            elif name == "pb":
-                changes["pb_entries"] = int(value)
-            elif name == "lat":
-                changes["prefetch_latency_cycles"] = int(value)
-            else:
-                raise ValueError(f"unknown LLBP parameter {name!r}")
-        else:
-            raise ValueError(f"unknown LLBP token {token!r}")
-    if changes.get("bucketed") is False and "patterns_per_set" in changes:
-        # Unbucketed sets of arbitrary size keep the full slot-length list.
-        pass
-    return dataclasses.replace(config, **changes)
+    """Deprecated: use :func:`repro.predictors.registry.parse_llbp_spec`."""
+    warnings.warn(
+        "_parse_llbp_key is deprecated; use "
+        "repro.predictors.registry.parse_llbp_spec",
+        DeprecationWarning, stacklevel=2)
+    return registry.parse_llbp_spec(spec)
 
 
 def resolve_predictor(key: str) -> BranchPredictor:
-    """Instantiate the predictor named by ``key`` (see module docstring)."""
-    if key in _SIMPLE_FACTORIES:
-        return _SIMPLE_FACTORIES[key]()
-    if key == "llbp":
-        return LLBPTageScL(LLBPConfig())
-    if key.startswith("llbp:"):
-        return LLBPTageScL(_parse_llbp_key(key[len("llbp:"):]))
-    raise KeyError(f"unknown predictor key {key!r}")
+    """Deprecated: use :func:`repro.predictors.registry.make_predictor`."""
+    warnings.warn(
+        "resolve_predictor is deprecated; use "
+        "repro.predictors.registry.make_predictor",
+        DeprecationWarning, stacklevel=2)
+    return registry.make_predictor(key)
 
 
 def _cache_dir() -> Path:
@@ -273,7 +199,7 @@ def get_result(workload: str, key: str,
 
     start = time.perf_counter() if telemetry.enabled() else 0.0
     trace = generate_workload(workload, instructions)
-    predictor = resolve_predictor(key)
+    predictor = registry.make_predictor(key)
     result = run_simulation(trace, predictor, collect_per_pc=True)
     telemetry.emit("runner.result", workload=workload, key=key,
                    instructions=instructions, source="simulated",
@@ -308,7 +234,7 @@ def run_batch(workload: str, keys, instructions: Optional[int] = None):
     if missing:
         start = time.perf_counter() if telemetry.enabled() else 0.0
         trace = generate_workload(workload, instructions)
-        predictors = [resolve_predictor(key) for key in missing]
+        predictors = [registry.make_predictor(key) for key in missing]
         batch = run_simulation_batch(trace, predictors, collect_per_pc=True)
         seconds = time.perf_counter() - start
         for key, result in zip(missing, batch):

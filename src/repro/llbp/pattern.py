@@ -42,7 +42,7 @@ class PatternSet:
     """One context's patterns, stored as parallel slot arrays."""
 
     __slots__ = ("size", "bucket_size", "ctr_lo", "ctr_hi",
-                 "valid", "tags", "ctrs", "hslots", "dirty")
+                 "valid", "tags", "ctrs", "hslots", "dirty", "vdesc")
 
     def __init__(self, size: int, bucket_size: int, counter_bits: int = 3) -> None:
         if size < 1 or bucket_size < 1 or size % bucket_size:
@@ -56,6 +56,11 @@ class PatternSet:
         self.ctrs = [0] * size
         self.hslots = list(range(size)) if bucket_size != size else [0] * size
         self.dirty = False
+        #: Valid slot indices in descending order — the ``find_longest``
+        #: scan order.  Sets are typically far from full, so iterating
+        #: this instead of all slots skips the invalid tail; ``allocate``
+        #: is the only mutation point for validity, so it owns the cache.
+        self.vdesc: list = []
 
     # -- prediction ------------------------------------------------------------
 
@@ -66,11 +71,10 @@ class PatternSet:
         slots are kept sorted by history length, the right-most valid match
         is the longest one — the same multiplexer cascade as TAGE (§V-B).
         """
-        valid = self.valid
         tags = self.tags
         hslots = self.hslots
-        for i in range(self.size - 1, -1, -1):
-            if valid[i] and tags[i] == slot_tags[hslots[i]]:
+        for i in self.vdesc:
+            if tags[i] == slot_tags[hslots[i]]:
                 return i
         return -1
 
@@ -127,6 +131,7 @@ class PatternSet:
         self.hslots[victim] = hash_slot
         self.dirty = True
         self._sort_region(lo, hi)
+        self.vdesc = [i for i in range(self.size - 1, -1, -1) if self.valid[i]]
         # After sorting, locate the slot that now holds the new pattern.
         for i in range(lo, hi):
             if self.valid[i] and self.tags[i] == tag and self.hslots[i] == hash_slot:

@@ -163,6 +163,13 @@ class LLBPTageScL(BranchPredictor):
         self._slot_rank = [
             TAGE_HISTORY_LENGTHS.index(length) + 1 for length in config.slot_lengths
         ]
+        # Allocation candidates per provider rank (the hash slots whose
+        # history is longer), precomputed — ranks are small and fixed.
+        max_rank = max(self._slot_rank)
+        self._alloc_candidates = [
+            [h for h, rank in enumerate(self._slot_rank) if rank > pr]
+            for pr in range(max_rank + 2)
+        ]
         self._tag_mask = (1 << config.pattern_tag_bits) - 1
 
         self.rcr = RollingContextRegister(config)
@@ -300,32 +307,45 @@ class LLBPTageScL(BranchPredictor):
     def _allocate(self, pc: int, taken: bool, meta: LLBPMeta,
                   provider_rank: int) -> None:
         """Allocate a longer-history pattern in the current context."""
+        slot_tags = meta.slot_tags
+        if slot_tags is None and meta.pattern_set is not None:
+            slot_tags = self.compute_slot_tags(pc)
+        self._allocate_parts(pc, taken, meta.ccid, meta.pattern_set,
+                             slot_tags, provider_rank, self._now)
+
+    def _allocate_parts(self, pc: int, taken: bool, ccid: int,
+                        pattern_set: Optional[PatternSet],
+                        slot_tags: Optional[List[int]],
+                        provider_rank: int, now: int) -> None:
+        """:meth:`_allocate` with every input explicit (no meta object).
+
+        The array engine calls this directly: it carries precomputed
+        slot tags and its own local clock, and must not fall back to
+        :meth:`compute_slot_tags` (its folded registers never advance).
+        """
         # Find the shortest LLBP history longer than the provider's, with
         # the same one-step randomisation TAGE's allocator uses.
-        candidates = [
-            h for h, rank in enumerate(self._slot_rank) if rank > provider_rank
-        ]
+        table = self._alloc_candidates
+        candidates = (table[provider_rank]
+                      if provider_rank < len(table) else [])
         if not candidates:
             return
         pick = candidates[0]
         if len(candidates) > 1 and self._rng.chance(1, 2):
             pick = candidates[1]
 
-        ccid = meta.ccid
-        pattern_set = meta.pattern_set
         if pattern_set is None:
             if ccid in self.directory:
                 # Context exists but was not resident at predict time:
                 # demand-fetch it for future use; allocating into a
                 # non-resident set is not possible in hardware.
-                self.prefetcher.issue(ccid, self._now)
+                self.prefetcher.issue(ccid, now)
                 return
             # Step 1: start tracking this context.
             pattern_set, _ = self.directory.insert(ccid)
             self.buffer.fill(ccid, pattern_set, self.directory)
             self.counts["context_creations"] += 1
 
-        slot_tags = meta.slot_tags
         if slot_tags is None:
             slot_tags = self.compute_slot_tags(pc)
         pattern_set.allocate(pick, slot_tags[pick], taken)
@@ -372,6 +392,47 @@ class LLBPTageScL(BranchPredictor):
         return (self.tsl.storage_bits() + self.config.storage_bits
                 + self.config.cd_bits
                 + self.config.pb_entries * self.config.pattern_set_bits)
+
+    def state_arrays(self) -> dict:
+        """Snapshot of all mutable state as numpy arrays.
+
+        Baseline TAGE-SC-L keys are prefixed ``tsl/``; the context
+        directory (``cd/``) flattens every resident pattern set in
+        set-major, insertion order (the order is replacement-visible, so
+        it is part of the state); ``pb/`` records buffer residency in
+        LRU order; ``rcr/pcs`` captures the context register (its CIDs
+        and accumulators are derived from it).  Raw RCR accumulators are
+        intentionally excluded: they can exceed 64 bits.
+        """
+        import numpy as np
+
+        arrays = {f"tsl/{key}": value
+                  for key, value in self.tsl.state_arrays().items()}
+        cd_rows, valid, tags, ctrs, hslots = [], [], [], [], []
+        for set_index, entries in enumerate(self.directory._sets):
+            for cid, ps in entries.items():
+                cd_rows.append((set_index, cid, int(ps.dirty)))
+                valid.append([int(v) for v in ps.valid])
+                tags.append(ps.tags)
+                ctrs.append(ps.ctrs)
+                hslots.append(ps.hslots)
+        arrays["cd/entries"] = np.array(cd_rows, dtype=np.int64).reshape(-1, 3)
+        arrays["cd/valid"] = np.array(valid, dtype=np.int8).reshape(
+            len(cd_rows), -1)
+        arrays["cd/tags"] = np.array(tags, dtype=np.int64).reshape(
+            len(cd_rows), -1)
+        arrays["cd/ctrs"] = np.array(ctrs, dtype=np.int16).reshape(
+            len(cd_rows), -1)
+        arrays["cd/hslots"] = np.array(hslots, dtype=np.int16).reshape(
+            len(cd_rows), -1)
+        arrays["pb/entries"] = np.array(
+            [(set_index, cid)
+             for set_index, entries in enumerate(self.buffer._sets)
+             for cid in entries], dtype=np.int64).reshape(-1, 2)
+        arrays["rcr/pcs"] = np.array(self.rcr._pcs, dtype=np.uint64)
+        arrays["now"] = np.array(self._now, dtype=np.int64)
+        arrays["rng"] = np.array(self._rng.state, dtype=np.uint64)
+        return arrays
 
     def bandwidth_bits(self) -> dict:
         """Read/write traffic between LLBP storage and the PB (Fig 11)."""

@@ -52,3 +52,16 @@ class GShare(BranchPredictor):
 
     def storage_bits(self) -> int:
         return 2 * (1 << self.index_bits)
+
+    def state_arrays(self) -> dict:
+        """Snapshot of the mutable predictor state as numpy arrays.
+
+        Every engine (Python or array) must leave identical state behind
+        for the same trace; the equivalence tests compare these dicts.
+        """
+        import numpy as np
+
+        return {
+            "table": np.array(self.table, dtype=np.int8),
+            "history": np.array(self.history, dtype=np.uint64),
+        }

@@ -1,0 +1,256 @@
+"""The predictor registry: one public factory for every predictor key.
+
+Predictor keys are strings so results can be cached on disk and shared
+across figures.  Historically the parsing lived in
+``repro.experiments.runner`` (``resolve_predictor`` / ``_parse_llbp_key``);
+this module is the single public home for that grammar:
+
+* :func:`parse_key` — key string → :class:`PredictorSpec` (family plus a
+  fully resolved config), without building tables;
+* :func:`make_predictor` — key string → live predictor instance;
+* :func:`key_of` — predictor instance → canonical key string (the inverse
+  of :func:`make_predictor`, config-wise);
+* :func:`known_keys` — every plain key the registry accepts.
+
+Grammar
+-------
+
+Plain keys name the paper's standard configurations (``bimodal``,
+``gshare``, ``perfect``, ``tsl64`` … ``tsl1m``, ``inf-tage``, ``inf-tsl``,
+``llbp``).  ``llbp`` accepts a ``:``-separated parameter suffix of
+comma-separated tokens for the sensitivity studies::
+
+    llbp                       the evaluated design (timed prefetch)
+    llbp:lat0                  LLBP-0Lat
+    llbp:lat0,w=16,d=0         context window / prefetch distance override
+    llbp:src=callret           RCR source (uncond | callret | all)
+    llbp:cd_bits=10,ps=32      directory sets / patterns per set
+    llbp:unbucketed,lru        ablation switches
+    llbp:exclusive             the paper's exclusive provider training
+
+The token grammar is *declarative*: each family lists flag tokens (a bare
+word pinning one config field to one value) and parameter tokens
+(``name=value`` with a parser per name).  Unknown plain keys raise
+``KeyError``; malformed suffix tokens raise ``ValueError`` — the same
+error contract the deprecated helpers always had, which the experiment
+CLIs and cache filenames rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.llbp.config import ContextSource, LLBPConfig
+from repro.llbp.predictor import LLBPTageScL
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import Bimodal
+from repro.predictors.gshare import GShare
+from repro.predictors.perfect import PerfectPredictor
+from repro.predictors.presets import tage_infinite, tsl_64k, tsl_infinite, tsl_scaled
+from repro.predictors.tage_sc_l import TageScL
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictorSpec:
+    """A parsed predictor key: the family plus its resolved config.
+
+    ``config`` is ``None`` for families without tunable tokens (every
+    plain key except ``llbp``); for ``llbp`` it is the fully resolved
+    :class:`LLBPConfig` with every token applied.
+    """
+
+    family: str
+    config: Optional[LLBPConfig] = None
+
+
+# ---------------------------------------------------------------------------
+# Families without a token grammar: one factory per plain key.
+
+_SIMPLE_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
+    "bimodal": Bimodal,
+    "gshare": GShare,
+    "perfect": PerfectPredictor,
+    "tsl64": tsl_64k,
+    "tsl128": lambda: tsl_scaled(2),
+    "tsl256": lambda: tsl_scaled(4),
+    "tsl512": lambda: tsl_scaled(8),
+    "tsl1m": lambda: tsl_scaled(16),
+    "inf-tage": tage_infinite,
+    "inf-tsl": tsl_infinite,
+}
+
+#: TSL preset configs carry a display name; it doubles as the reverse map
+#: for :func:`key_of` (each preset's name is unique by construction).
+_TSL_NAME_TO_KEY = {
+    "64K TSL": "tsl64",
+    "128K TSL": "tsl128",
+    "256K TSL": "tsl256",
+    "512K TSL": "tsl512",
+    "1024K TSL": "tsl1m",
+    "Inf TAGE": "inf-tage",
+    "Inf TSL": "inf-tsl",
+}
+
+# ---------------------------------------------------------------------------
+# The LLBP token grammar, declaratively.  A flag token pins one config
+# field to one value; a parameter token parses ``name=value`` into one
+# field.  Order matters for :func:`key_of`: the canonical key emits flags
+# first, in declaration order, then parameters.
+
+#: token -> (config field, pinned value)
+_LLBP_FLAGS: Tuple[Tuple[str, str, object], ...] = (
+    ("lat0", "simulate_timing", False),
+    # §V-A's future-work variant: pattern sets live in the L2 rather than
+    # a dedicated array, so fetches pay an L2-like latency instead of the
+    # 6-cycle dedicated-array access.
+    ("virt", "prefetch_latency_cycles", 16),
+    ("unbucketed", "bucketed", False),
+    ("lru", "cd_replacement", "lru"),
+    ("exclusive", "exclusive_provider_training", True),
+    ("frontend", "model_frontend_redirects", True),
+    ("noguard", "weak_override_guard", False),
+)
+
+_SOURCES = {
+    "uncond": ContextSource.UNCONDITIONAL,
+    "callret": ContextSource.CALL_RET,
+    "all": ContextSource.ALL,
+}
+
+
+def _parse_source(value: str) -> ContextSource:
+    return _SOURCES[value]
+
+
+#: token name -> (config field, value parser, value formatter)
+_LLBP_PARAMS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
+    ("w", "context_window", int, str),
+    ("d", "prefetch_distance", int, str),
+    ("src", "context_source", _parse_source, lambda v: v.value),
+    ("cd_bits", "cd_set_bits", int, str),
+    ("ps", "patterns_per_set", int, str),
+    ("pb", "pb_entries", int, str),
+    ("lat", "prefetch_latency_cycles", int, str),
+)
+
+_LLBP_FLAG_MAP = {token: (field, value) for token, field, value in _LLBP_FLAGS}
+_LLBP_PARAM_MAP = {token: (field, parse) for token, field, parse, _ in _LLBP_PARAMS}
+
+
+def parse_llbp_spec(spec: str) -> LLBPConfig:
+    """Parse an ``llbp`` key suffix (the part after ``llbp:``).
+
+    Whitespace around tokens and empty tokens are ignored.  Raises
+    ``ValueError`` for unknown tokens/parameters and for token
+    combinations :class:`LLBPConfig` itself rejects (e.g. ``ps=48``
+    without ``unbucketed``).
+    """
+    config = LLBPConfig()
+    if not spec:
+        return config
+    changes: Dict[str, object] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in _LLBP_FLAG_MAP:
+            field, value = _LLBP_FLAG_MAP[token]
+            changes[field] = value
+        elif "=" in token:
+            name, value = token.split("=", 1)
+            try:
+                field, parse = _LLBP_PARAM_MAP[name]
+            except KeyError:
+                raise ValueError(f"unknown LLBP parameter {name!r}") from None
+            changes[field] = parse(value)
+        else:
+            raise ValueError(f"unknown LLBP token {token!r}")
+    return dataclasses.replace(config, **changes)
+
+
+def llbp_key_suffix(config: LLBPConfig) -> str:
+    """Canonical token list for ``config`` (inverse of :func:`parse_llbp_spec`).
+
+    Raises ``ValueError`` if some field deviating from the default has no
+    token spelling (such a config cannot round-trip through a key).
+    """
+    default = LLBPConfig()
+    handled = set()
+    tokens = []
+    for token, field, value in _LLBP_FLAGS:
+        if field in handled:
+            continue
+        if getattr(config, field) == value != getattr(default, field):
+            tokens.append(token)
+            handled.add(field)
+    for token, field, _, fmt in _LLBP_PARAMS:
+        if field in handled:
+            continue
+        current = getattr(config, field)
+        if current != getattr(default, field):
+            tokens.append(f"{token}={fmt(current)}")
+            handled.add(field)
+    for field in dataclasses.fields(config):
+        if field.name in handled:
+            continue
+        if getattr(config, field.name) != getattr(default, field.name):
+            raise ValueError(
+                f"LLBPConfig.{field.name} deviates from the default but has "
+                f"no key token; this config cannot be expressed as a key")
+    return ",".join(tokens)
+
+
+def parse_key(key: str) -> PredictorSpec:
+    """Parse ``key`` into a :class:`PredictorSpec` without building tables.
+
+    Raises ``KeyError`` for unknown plain keys and ``ValueError`` for a
+    malformed ``llbp`` suffix.
+    """
+    if key in _SIMPLE_FACTORIES:
+        return PredictorSpec(family=key)
+    if key == "llbp":
+        return PredictorSpec(family="llbp", config=LLBPConfig())
+    if key.startswith("llbp:"):
+        return PredictorSpec(family="llbp",
+                             config=parse_llbp_spec(key[len("llbp:"):]))
+    raise KeyError(f"unknown predictor key {key!r}")
+
+
+def make_predictor(key: str) -> BranchPredictor:
+    """Instantiate the predictor named by ``key`` (see module docstring)."""
+    spec = parse_key(key)
+    if spec.family == "llbp":
+        return LLBPTageScL(spec.config)
+    return _SIMPLE_FACTORIES[spec.family]()
+
+
+def key_of(predictor: BranchPredictor) -> str:
+    """Canonical registry key for ``predictor``.
+
+    The inverse of :func:`make_predictor` up to configuration:
+    ``parse_key(key_of(p))`` resolves to the same family and config.
+    Raises ``ValueError`` for predictors the registry cannot express.
+    """
+    if isinstance(predictor, LLBPTageScL):
+        suffix = llbp_key_suffix(predictor.config)
+        return f"llbp:{suffix}" if suffix else "llbp"
+    if isinstance(predictor, TageScL):
+        name = predictor.config.name
+        try:
+            return _TSL_NAME_TO_KEY[name]
+        except KeyError:
+            raise ValueError(
+                f"no registry key for TageScL preset named {name!r}") from None
+    if type(predictor) is Bimodal:
+        return "bimodal"
+    if type(predictor) is GShare:
+        return "gshare"
+    if type(predictor) is PerfectPredictor:
+        return "perfect"
+    raise ValueError(f"no registry key for {type(predictor).__name__}")
+
+
+def known_keys() -> Tuple[str, ...]:
+    """Every plain key the registry accepts (``llbp`` takes a suffix too)."""
+    return tuple(_SIMPLE_FACTORIES) + ("llbp",)

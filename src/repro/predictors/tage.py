@@ -394,3 +394,23 @@ class Tage(BranchPredictor):
             self.bimodal.storage_bits()
             + self.config.num_tables * self._size * entry_bits
         )
+
+    def state_arrays(self) -> dict:
+        """Snapshot of the mutable table state as numpy arrays.
+
+        Covers everything training touches — tagged tables, bimodal,
+        use-alt and tick counters, allocation RNG — so two engines that
+        processed the same trace must produce equal dicts.  History folds
+        are excluded: they are a pure function of the branch stream.
+        """
+        import numpy as np
+
+        return {
+            "ctrs": np.array(self.ctrs, dtype=np.int16),
+            "tags": np.array(self.tags, dtype=np.int64),
+            "useful": np.array(self.useful, dtype=np.int16),
+            "bimodal": np.array(self.bimodal.table, dtype=np.int16),
+            "use_alt": np.array(self._use_alt, dtype=np.int64),
+            "tick": np.array(self._tick, dtype=np.int64),
+            "rng": np.array(self._rng.state, dtype=np.uint64),
+        }

@@ -162,3 +162,32 @@ class TageScL(BranchPredictor):
         if self.loop is not None:
             bits += self.loop.storage_bits()
         return bits
+
+    def state_arrays(self) -> dict:
+        """Snapshot of all mutable component state as numpy arrays.
+
+        TAGE keys are prefixed ``tage/``, corrector keys ``sc/`` and
+        loop-predictor keys ``loop/``; used by the engine-equivalence
+        tests to assert the Python and array engines leave identical
+        predictor state behind.
+        """
+        import numpy as np
+
+        arrays = {f"tage/{key}": value
+                  for key, value in self.tage.state_arrays().items()}
+        if self.sc is not None:
+            sc = self.sc
+            arrays["sc/bias"] = np.array(sc.bias_table, dtype=np.int16)
+            arrays["sc/tables"] = np.array(sc.tables, dtype=np.int16)
+            arrays["sc/history"] = np.array(sc.history, dtype=np.uint64)
+            arrays["sc/threshold"] = np.array(
+                [sc.threshold, sc._tc], dtype=np.int64)
+        if self.loop is not None:
+            loop = self.loop
+            arrays["loop/entries"] = np.array(
+                [[e.tag, e.past_iter, e.current_iter, e.confidence,
+                  e.age, int(e.direction)]
+                 for ways in loop.table for e in ways], dtype=np.int64)
+            arrays["loop/withloop"] = np.array(loop.withloop, dtype=np.int64)
+            arrays["loop/rng"] = np.array(loop._rng.state, dtype=np.uint64)
+        return arrays

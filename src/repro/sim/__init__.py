@@ -1,13 +1,14 @@
 """Simulation layer: trace-driven engine, timing core model, L1-I model."""
 
 from repro.sim.results import SimulationResult
-from repro.sim.engine import run_simulation
+from repro.sim.engine import resolve_engine, run_simulation
 from repro.sim.multi import run_simulation_batch
 from repro.sim.core import CoreParams, CoreModel, TimingResult
 from repro.sim.icache import InstructionCache, simulate_icache
 
 __all__ = [
     "SimulationResult",
+    "resolve_engine",
     "run_simulation",
     "run_simulation_batch",
     "CoreParams",

@@ -1,0 +1,878 @@
+"""Array-backed fused simulation engine (``engine="array"``).
+
+The Python engine in :mod:`repro.sim.engine` pays per-branch method
+dispatch (predict/train/update_history), per-branch metadata objects
+(TageResult/TslResult/LLBPMeta) and per-branch folded-history pushes.
+This engine removes all three:
+
+* every hash the predictor computes per branch is precomputed once per
+  trace into flat integer columns (:mod:`repro.sim.columns`) and
+  persisted with the packed trace;
+* one specialised ``_sim`` function per predictor *instance* is
+  generated, inlining lookup and training into a single loop body with
+  bank sizes, masks and saturation bounds baked in as constants and the
+  table arrays bound by identity;
+* hot scalar state (use-alt, tick, SC threshold, loop bias, clocks,
+  counters) lives in locals for the duration of the run and is written
+  back in an epilogue.
+
+The contract is **bit-identity** with the Python engine: same tables
+afterwards, same RNG call sequence, same :class:`SimulationResult`
+including the insertion order of the per-PC dicts.  The Python engine
+remains the oracle; ``tests/sim/test_array.py`` pins the equivalence
+across every workload and supported family.  Unsupported predictor
+variants are reported by :func:`unsupported_reason` and the dispatcher
+falls back to the Python engine.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from itertools import chain
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.llbp.predictor import LLBPTageScL
+from repro.predictors.base import BranchPredictor
+from repro.predictors.gshare import GShare
+from repro.predictors.tage import Tage
+from repro.predictors.tage_sc_l import TageScL
+from repro.sim import columns as columns_mod
+from repro.sim.results import SimulationResult
+from repro.traces.trace import Trace
+
+#: Records converted to Python lists per chunk in the fused loops.
+_CHUNK = 1 << 14
+
+
+# -- support matrix ----------------------------------------------------------
+
+def unsupported_reason(predictor: BranchPredictor) -> Optional[str]:
+    """Why ``predictor`` cannot run on the array engine (None = it can).
+
+    Exact-type checks on purpose: a subclass may override any method the
+    fused code inlines, which would silently diverge from the oracle.
+    """
+    if type(predictor) is GShare:
+        return None
+    if type(predictor) is TageScL:
+        return _tsl_reason(predictor)
+    if type(predictor) is LLBPTageScL:
+        if predictor.btb is not None:
+            return "front-end redirect modelling is not fused"
+        if type(predictor.tsl) is not TageScL:
+            return "baseline is not a plain TageScL"
+        return _tsl_reason(predictor.tsl)
+    return f"no fused loop for {type(predictor).__name__}"
+
+
+def _tsl_reason(tsl: TageScL) -> Optional[str]:
+    if type(tsl.tage) is not Tage:
+        return "TAGE variant is not a plain Tage"
+    if tsl.sc is None or tsl.loop is None:
+        return "SC/loop components disabled"
+    return None
+
+
+def supports(predictor: BranchPredictor) -> bool:
+    return unsupported_reason(predictor) is None
+
+
+# -- fused loop body emitters ------------------------------------------------
+#
+# Each helper appends unindented source lines for one stage of the
+# per-conditional-branch body; the compilers below stitch them together
+# and indent them into the chunked trace loops.  The bodies are the
+# predictors' own lookup/train methods with metadata objects replaced by
+# locals and per-branch hashes replaced by ``row[...]`` subscripts
+# (constant where possible).
+
+def _emit_tage_lookup(a, tage) -> None:
+    num_tables = tage.config.num_tables
+    a("provider = -1")
+    a("alt = -1")
+    for t in range(num_tables):
+        a(f"if TT{t}[row[{t}]] == row[{num_tables + t}]:")
+        a("    alt = provider")
+        a(f"    provider = {t}")
+    a(f"bim_i = (pc >> 2) & {tage.bimodal._mask}")
+    a("bim_pred = BIM[bim_i] >= 0")
+    a("if provider >= 0:")
+    a("    p_idx = row[provider]")
+    a("    CP = T_CTRS[provider]")
+    a("    provider_ctr = ctr = CP[p_idx]")
+    a("    provider_pred = ctr >= 0")
+    a("    provider_weak = ctr == 0 or ctr == -1")
+    a("    if alt >= 0:")
+    a("        alt_pred = T_CTRS[alt][row[alt]] >= 0")
+    a("    else:")
+    a("        alt_pred = bim_pred")
+    a(f"    if provider_weak and use_alt >= {tage._use_alt_mid}:")
+    a("        t_pred = alt_pred")
+    a("    else:")
+    a("        t_pred = provider_pred")
+    a("    provider_valid = True")
+    a("else:")
+    a("    provider_ctr = 0")
+    a("    provider_pred = False")
+    a("    provider_weak = False")
+    a("    alt_pred = bim_pred")
+    a("    t_pred = bim_pred")
+    a("    provider_valid = False")
+
+
+def _emit_sc_lookup(a, sc, num_tables, ctr="provider_ctr",
+                    valid="provider_valid") -> None:
+    num_sc = len(sc.history_lengths)
+    a("pcx = pc >> 2")
+    a(f"bias_index = (pcx * 2 + (1 if base_pred else 0)) & {sc._mask}")
+    votes = " + ".join(
+        f"S{c}[row[{2 * num_tables + c}]]" for c in range(num_sc))
+    a(f"total = 2 * BIAS[bias_index] + 1 + 2 * ({votes}) + {num_sc}")
+    a(f"if {valid}:")
+    a(f"    conf = 2 * {ctr} + 1")
+    a("    if conf < 0: conf = -conf")
+    a("    total += (conf + 1) * (2 if base_pred else -2)")
+    a("else:")
+    a("    total += 4 if base_pred else -4")
+    a("sc_pred = total >= 0")
+    a("abs_total = total if total >= 0 else -total")
+    a("sc_use = sc_pred != base_pred and abs_total >= threshold")
+    a("pred = sc_pred if sc_use else base_pred")
+
+
+def _emit_loop_lookup(a, loop) -> None:
+    a(f"set_index = pcx & {loop._set_mask}")
+    a(f"ltag = (pc >> {loop._tag_shift}) & {loop._tag_mask}")
+    a("lset = LOOPTAB[set_index]")
+    a("l_valid = False")
+    a("l_pred = False")
+    a("l_hit = False")
+    a("l_way = -1")
+    a(f"for way in range({loop.ways}):")
+    a("    entry = lset[way]")
+    a("    if entry.age > 0 and entry.tag == ltag:")
+    a("        l_hit = True")
+    a("        l_way = way")
+    a("        if entry.confidence == 3 and entry.past_iter > 0:")
+    a("            l_valid = True")
+    a("            exiting = entry.current_iter + 1 >= entry.past_iter")
+    a("            l_pred = (not entry.direction) if exiting else entry.direction")
+    a("        break")
+    a("if l_valid and withloop >= 0:")
+    a("    pred = l_pred")
+
+
+def _emit_count(a, measuring) -> None:
+    a("if pred != taken:")
+    a("    misp_all += 1")
+    if measuring:
+        a("    measured_misp += 1")
+        a("    per_pc_misp[pc] = misp_get(pc, 0) + 1")
+
+
+def _emit_loop_train(a, loop) -> None:
+    a("if l_valid:")
+    a("    if l_pred != base_pred:")
+    a("        if l_pred == taken:")
+    a(f"            if withloop < {loop._withloop_hi}: withloop += 1")
+    a(f"        elif withloop > {loop._withloop_lo}: withloop -= 1")
+    a("if l_hit:")
+    a("    entry = lset[l_way]")
+    a("    if l_valid and l_pred != taken:")
+    a("        entry.age = 0")
+    a("        entry.confidence = 0")
+    a("        entry.current_iter = 0")
+    a("    else:")
+    a("        if l_valid and entry.age < 255:")
+    a("            entry.age = entry.age + 1")
+    a("        if taken == entry.direction:")
+    a("            entry.current_iter = cur = entry.current_iter + 1")
+    a("            if entry.past_iter and cur > entry.past_iter:")
+    a("                entry.confidence = 0")
+    a("                entry.past_iter = 0")
+    a("                entry.current_iter = 0")
+    a("        else:")
+    a("            observed = entry.current_iter + 1")
+    a("            past = entry.past_iter")
+    a("            if past == 0:")
+    a("                entry.past_iter = observed")
+    a("            elif past == observed:")
+    a("                if entry.confidence < 3:")
+    a("                    entry.confidence = entry.confidence + 1")
+    a("            else:")
+    a("                entry.past_iter = observed")
+    a("                entry.confidence = 0")
+    a("            entry.current_iter = 0")
+    a("elif base_pred != taken and not taken and loop_chance(1, 4):")
+    a("    loop_alloc(pc)")
+
+
+def _emit_sc_train(a, sc, num_tables) -> None:
+    num_sc = len(sc.history_lengths)
+    a("final_pred = sc_pred if sc_use else base_pred")
+    a("if sc_use:")
+    a("    overrides += 1")
+    a("    if sc_pred == taken: good_overrides += 1")
+    a("if sc_pred != base_pred:")
+    a("    if sc_pred == taken:")
+    a("        tc -= 1")
+    a("        if tc <= -64:")
+    a("            tc = 0")
+    a("            if threshold > 4: threshold -= 1")
+    a("    else:")
+    a("        tc += 1")
+    a("        if tc >= 64:")
+    a("            tc = 0")
+    a("            if threshold < 64: threshold += 1")
+    a("if final_pred != taken or abs_total < 4 * threshold:")
+    a("    v = BIAS[bias_index]")
+    a("    if taken:")
+    a("        if v < 31: BIAS[bias_index] = v + 1")
+    a("    elif v > -32: BIAS[bias_index] = v - 1")
+    for c in range(num_sc):
+        a(f"    s_i = row[{2 * num_tables + c}]")
+        a(f"    v = S{c}[s_i]")
+        a("    if taken:")
+        a(f"        if v < 31: S{c}[s_i] = v + 1")
+        a(f"    elif v > -32: S{c}[s_i] = v - 1")
+
+
+def _emit_tage_update(a, tage, guarded: bool) -> None:
+    """Tage.update inlined; ``guarded`` wraps the provider-counter and
+    bimodal updates in ``if not overrode`` (exclusive provider training)."""
+    num_tables = tage.config.num_tables
+    a("if provider >= 0:")
+    a("    if provider_pred != alt_pred:")
+    a("        UP = T_USEFUL[provider]")
+    a("        if provider_pred == taken:")
+    a("            UP[p_idx] = 1")
+    a("        else:")
+    a("            u = UP[p_idx]")
+    a("            if u > 0: UP[p_idx] = u - 1")
+    a("        if provider_weak:")
+    a(f"            if alt_pred == taken and use_alt < {tage._use_alt_max}:"
+      " use_alt += 1")
+    a("            elif provider_pred == taken and use_alt > 0: use_alt -= 1")
+    g = ""
+    if guarded:
+        a("    if not overrode:")
+        g = "    "
+    a(g + "    ctr2 = CP[p_idx]")
+    a(g + "    if taken:")
+    a(g + f"        if ctr2 < {tage._ctr_hi}: CP[p_idx] = ctr2 + 1")
+    a(g + f"    elif ctr2 > {tage._ctr_lo}: CP[p_idx] = ctr2 - 1")
+    a(g + "    if provider_weak and alt < 0:")
+    a(g + "        v = BIM[bim_i]")
+    a(g + "        if taken:")
+    a(g + "            if v < 1: BIM[bim_i] = v + 1")
+    a(g + "        elif v > -2: BIM[bim_i] = v - 1")
+    a("else:")
+    if guarded:
+        a("    if not overrode:")
+    a(g + "    v = BIM[bim_i]")
+    a(g + "    if taken:")
+    a(g + "        if v < 1: BIM[bim_i] = v + 1")
+    a(g + "    elif v > -2: BIM[bim_i] = v - 1")
+    a("if t_pred != taken:")
+    a(f"    if provider < {num_tables - 1}:")
+    a("        start = provider + 1")
+    a(f"        if start < {num_tables - 1} and tage_chance(1, 2): start += 1")
+    a("        allocated = 0")
+    a("        failures = 0")
+    a("        t = start")
+    a(f"        while t < {num_tables} and allocated"
+      f" < {tage.config.max_allocations}:")
+    a("            a_idx = row[t]")
+    a("            UT = T_USEFUL[t]")
+    a("            if UT[a_idx] == 0:")
+    a(f"                T_TAGS[t][a_idx] = row[{num_tables} + t]")
+    a("                T_CTRS[t][a_idx] = 0 if taken else -1")
+    a("                T_VALID[t][a_idx] = True")
+    a("                allocated += 1")
+    a("                t += 2")
+    a("            else:")
+    a("                failures += 1")
+    a("                t += 1")
+    a("        tick += failures - allocated")
+    a("        if tick < 0:")
+    a("            tick = 0")
+    a(f"        elif tick >= {tage.config.tick_threshold}:")
+    a("            tick = 0")
+    a("            for UT in T_USEFUL:")
+    a("                UT[:] = ZEROS")
+
+
+def _tsl_namespace(tsl: TageScL) -> dict:
+    tage, sc, loop = tsl.tage, tsl.sc, tsl.loop
+    ns = {
+        "tage": tage, "sc": sc, "loop": loop,
+        "T_CTRS": tage.ctrs, "T_TAGS": tage.tags, "T_USEFUL": tage.useful,
+        "T_VALID": tage._valid,
+        "BIM": tage.bimodal.table, "BIAS": sc.bias_table,
+        "LOOPTAB": loop.table,
+        "loop_chance": loop._rng.chance, "loop_alloc": loop._allocate,
+        "tage_chance": tage._rng.chance,
+        "ZEROS": [0] * tage._size,
+    }
+    for t in range(tage.config.num_tables):
+        ns[f"TT{t}"] = tage.tags[t]
+    for c in range(len(sc.history_lengths)):
+        ns[f"S{c}"] = sc.tables[c]
+    return ns
+
+
+_TSL_SCALAR_PREAMBLE = (
+    "    use_alt = tage._use_alt",
+    "    tick = tage._tick",
+    "    threshold = sc.threshold",
+    "    tc = sc._tc",
+    "    overrides = sc.overrides",
+    "    good_overrides = sc.good_overrides",
+    "    withloop = loop.withloop",
+)
+
+_TSL_SCALAR_EPILOGUE = (
+    "    tage._use_alt = use_alt",
+    "    tage._tick = tick",
+    "    sc.threshold = threshold",
+    "    sc._tc = tc",
+    "    sc.overrides = overrides",
+    "    sc.good_overrides = good_overrides",
+    "    loop.withloop = withloop",
+)
+
+
+def _compile_tsl(p: TageScL):
+    """Generate ``_sim(pcs, takens, cols, csplit, per_pc_misp)`` for ``p``.
+
+    Inputs are the conditional-branch-only pc/taken columns and the
+    precomputed hash matrix; returns ``(measured_misp, misp_all)``.
+    """
+    tage, sc, loop = p.tage, p.sc, p.loop
+    num_tables = tage.config.num_tables
+    lines = []
+    add = lines.append
+    add("def _sim(pcs, takens, cols, csplit, per_pc_misp):")
+    lines.extend(_TSL_SCALAR_PREAMBLE)
+    add("    misp_all = 0")
+    add("    measured_misp = 0")
+    add("    misp_get = per_pc_misp.get")
+    add("    n = len(pcs)")
+    add(f"    CH = {_CHUNK}")
+
+    def body(measuring):
+        b = []
+        a = b.append
+        _emit_tage_lookup(a, tage)
+        a("base_pred = t_pred")
+        _emit_sc_lookup(a, sc, num_tables)
+        _emit_loop_lookup(a, loop)
+        _emit_count(a, measuring)
+        _emit_loop_train(a, loop)
+        _emit_sc_train(a, sc, num_tables)
+        _emit_tage_update(a, tage, guarded=False)
+        return ["            " + x for x in b]
+
+    add("    for lo in range(0, csplit, CH):")
+    add("        hi = lo + CH")
+    add("        if hi > csplit: hi = csplit")
+    add("        for pc, taken, row in zip(pcs[lo:hi].tolist(),"
+        " takens[lo:hi].tolist(), cols[lo:hi].tolist()):")
+    lines.extend(body(False))
+    add("    for lo in range(csplit, n, CH):")
+    add("        hi = lo + CH")
+    add("        if hi > n: hi = n")
+    add("        for pc, taken, row in zip(pcs[lo:hi].tolist(),"
+        " takens[lo:hi].tolist(), cols[lo:hi].tolist()):")
+    lines.extend(body(True))
+    lines.extend(_TSL_SCALAR_EPILOGUE)
+    add("    return measured_misp, misp_all")
+
+    namespace = _tsl_namespace(p)
+    exec(compile("\n".join(lines), "<array-sim-tsl>", "exec"), namespace)
+    return namespace["_sim"]
+
+
+def _compile_gshare(p: GShare):
+    """Generate ``_sim(pcs, takens, idx, csplit, per_pc_misp)`` for gshare."""
+    lines = []
+    add = lines.append
+    add("def _sim(pcs, takens, idx, csplit, per_pc_misp):")
+    add("    misp_all = 0")
+    add("    measured_misp = 0")
+    add("    misp_get = per_pc_misp.get")
+    add("    n = len(pcs)")
+    add(f"    CH = {_CHUNK}")
+
+    def body(measuring):
+        b = []
+        a = b.append
+        a("v = TBL[i]")
+        a("if (v >= 0) != taken:")
+        a("    misp_all += 1")
+        if measuring:
+            a("    measured_misp += 1")
+            a("    per_pc_misp[pc] = misp_get(pc, 0) + 1")
+        a("if taken:")
+        a("    if v < 1: TBL[i] = v + 1")
+        a("elif v > -2: TBL[i] = v - 1")
+        return ["            " + x for x in b]
+
+    add("    for lo in range(0, csplit, CH):")
+    add("        hi = lo + CH")
+    add("        if hi > csplit: hi = csplit")
+    add("        for pc, taken, i in zip(pcs[lo:hi].tolist(),"
+        " takens[lo:hi].tolist(), idx[lo:hi].tolist()):")
+    lines.extend(body(False))
+    add("    for lo in range(csplit, n, CH):")
+    add("        hi = lo + CH")
+    add("        if hi > n: hi = n")
+    add("        for pc, taken, i in zip(pcs[lo:hi].tolist(),"
+        " takens[lo:hi].tolist(), idx[lo:hi].tolist()):")
+    lines.extend(body(True))
+    add("    return measured_misp, misp_all")
+
+    namespace = {"TBL": p.table}
+    exec(compile("\n".join(lines), "<array-sim-gshare>", "exec"), namespace)
+    return namespace["_sim"]
+
+
+def _compile_llbp(p: LLBPTageScL):
+    """Generate ``_sim(pcs, types, takens, gaps, rows, split, per_pc_misp)``.
+
+    Iterates *all* records (the prefetch clock advances per record and
+    context-forming branches push the RCR); ``rows`` yields one combined
+    column row per conditional branch — TAGE indices/tags, SC indices,
+    then the 16 LLBP slot tags starting at ``SBASE``.
+    """
+    tsl = p.tsl
+    tage, sc, loop = tsl.tage, tsl.sc, tsl.loop
+    num_tables = tage.config.num_tables
+    num_sc = len(sc.history_lengths)
+    slot_base = 2 * num_tables + num_sc
+    pb_sets = p.buffer.num_sets
+    cd_sets = p.directory.num_sets
+    exclusive = p.config.exclusive_provider_training
+    weak_guard = p.config.weak_override_guard
+    timing = p.config.simulate_timing
+    ps_hi = (1 << (p.config.counter_bits - 1)) - 1
+    ps_lo = -(1 << (p.config.counter_bits - 1))
+
+    shift = p.config.position_shift
+    out_shift = p.rcr._out_shift
+    cid_bits = p.config.cid_bits
+    cid_mask = p.rcr._mask
+    distance = p.config.prefetch_distance
+    # issue() can only be flattened when the directory probe is
+    # side-effect free (LRU reorders on lookup) and delivery is
+    # deferred (zero latency delivers inline via _deliver).
+    inline_issue = (p.prefetcher.latency != 0
+                    and p.config.cd_replacement != "lru")
+
+    lines = []
+    add = lines.append
+    add("def _sim(pcs, types, takens, gaps, rows, split, per_pc_misp):")
+    lines.extend(_TSL_SCALAR_PREAMBLE)
+    add("    now = P._now")
+    add("    acc_pf = RCR._acc_pf")
+    add("    acc_cur = RCR._acc_cur")
+    add("    ccid = RCR.ccid")
+    add("    pf_cid = RCR.prefetch_cid")
+    add("    misp_all = 0")
+    add("    measured_misp = 0")
+    add("    misp_get = per_pc_misp.get")
+    add("    pb_hits = 0")
+    add("    pb_misses = 0")
+    add("    pb_miss_ctx = 0")
+    add("    llbp_provided = 0")
+    add("    no_override = 0")
+    add("    c_good = 0")
+    add("    c_bad = 0")
+    add("    c_both_correct = 0")
+    add("    c_both_wrong = 0")
+    add("    cd_acc = 0")
+    add("    pf_issued = 0")
+    add("    pf_dmiss = 0")
+    add("    pf_squash = 0")
+    add("    next_row = rows.__next__")
+    add("    n = len(pcs)")
+    add(f"    CH = {_CHUNK}")
+
+    def cond_body(measuring):
+        b = []
+        a = b.append
+        a("row = next_row()")
+        # -- pattern buffer probe (PatternBuffer.get + miss accounting) --
+        a(f"pbs = PB_SETS[ccid % {pb_sets}]")
+        a("ps = pbs.get(ccid)")
+        a("slot = -1")
+        a("if ps is None:")
+        a("    pb_misses += 1")
+        a(f"    if ccid in CD_SETS[ccid % {cd_sets}]:")
+        a("        pb_miss_ctx += 1")
+        a("else:")
+        a("    pb_hits += 1")
+        a("    del pbs[ccid]")
+        a("    pbs[ccid] = ps")
+        # PatternSet.find_longest against the precomputed slot tags —
+        # only the valid slots (ps.vdesc) are scanned.
+        a("    ps_tags = ps.tags")
+        a("    ps_hsl = ps.hslots")
+        a("    for i in ps.vdesc:")
+        a(f"        if ps_tags[i] == row[{slot_base} + ps_hsl[i]]:")
+        a("            slot = i")
+        a("            break")
+        _emit_tage_lookup(a, tage)
+        # -- override arbitration (LLBPTageScL.predict) --
+        a("overrode = False")
+        a("llbp_rank = 0")
+        a("if slot >= 0:")
+        a("    ps_ctrs = ps.ctrs")
+        a("    llbp_ctr = ps_ctrs[slot]")
+        a("    llbp_pred = llbp_ctr >= 0")
+        a("    llbp_rank = SRANK[ps_hsl[slot]]")
+        a("    llbp_provided += 1")
+        a("    overrode = llbp_rank >= provider + 1")
+        if weak_guard:
+            a("    if overrode and (llbp_ctr == 0 or llbp_ctr == -1)"
+              " and provider >= 0 and not provider_weak:")
+            a("        overrode = False")
+        a("    if not overrode:")
+        a("        no_override += 1")
+        a("if overrode:")
+        a("    base_pred = llbp_pred")
+        a("    sc_ctr = llbp_ctr")
+        a("    sc_valid = True")
+        a("else:")
+        a("    base_pred = t_pred")
+        a("    sc_ctr = provider_ctr")
+        a("    sc_valid = provider_valid")
+        _emit_sc_lookup(a, sc, num_tables, ctr="sc_ctr", valid="sc_valid")
+        _emit_loop_lookup(a, loop)
+        _emit_count(a, measuring)
+        # -- training (LLBPTageScL.train) --
+        a("if slot >= 0:")
+        a("    if overrode:")
+        a("        if llbp_pred == taken:")
+        a("            if t_pred == taken: c_both_correct += 1")
+        a("            else: c_good += 1")
+        a("        elif t_pred != taken: c_both_wrong += 1")
+        a("        else: c_bad += 1")
+        # PatternSet.update_counter: under exclusive provider training
+        # only the overriding pattern trains, so the block nests inside
+        # the `if overrode:` branch above.
+        ui = "        " if exclusive else "    "
+        a(ui + "c = ps_ctrs[slot]")
+        a(ui + "if taken:")
+        a(ui + f"    if c < {ps_hi}:")
+        a(ui + "        ps_ctrs[slot] = c + 1")
+        a(ui + "        ps.dirty = True")
+        a(ui + f"elif c > {ps_lo}:")
+        a(ui + "    ps_ctrs[slot] = c - 1")
+        a(ui + "    ps.dirty = True")
+        _emit_loop_train(a, loop)
+        _emit_sc_train(a, sc, num_tables)
+        _emit_tage_update(a, tage, guarded=exclusive)
+        # -- pattern allocation on base (provider) misprediction --
+        a("if base_pred != taken:")
+        a(f"    llbp_alloc(pc, taken, ccid, ps, row[{slot_base}:],"
+          " llbp_rank if overrode else provider + 1, now)")
+        if timing:
+            # Final misprediction: squash and re-run the prefetch
+            # pipeline.  cid_at(0) is the CCID and cid_at(D) the
+            # prefetch CID — both already live in locals, so only the
+            # intermediate distances pay the full window rehash.
+            a("if pred != taken:")
+            a("    pf_squash += len(INFLIGHT)")
+            a("    INFLIGHT.clear()")
+            reissue = ["ccid"]
+            reissue += [f"cid_at({d})" for d in range(1, distance)]
+            if distance:
+                reissue.append("pf_cid")
+            for cid_expr in reissue:
+                if inline_issue:
+                    a(f"    cid = {cid_expr}")
+                    a(f"    if cid not in PB_SETS[cid % {pb_sets}]:")
+                    a(f"        if cid in CD_SETS[cid % {cd_sets}]:")
+                    a("            pf_issued += 1")
+                    a(f"            INFLIGHT.append((now + {p.prefetcher.latency}, cid))")
+                    a("        else:")
+                    a("            pf_dmiss += 1")
+                else:
+                    a(f"    issue({cid_expr}, now)")
+        return ["                " + x for x in b]
+
+    def record_lines(measuring, stop):
+        out = []
+        out.append(f"    for lo in range(" +
+                   ("0, split, CH):" if not measuring else "split, n, CH):"))
+        out.append("        hi = lo + CH")
+        out.append(f"        if hi > {stop}: hi = {stop}")
+        out.append("        for pc, btype, taken, gap in zip("
+                   "pcs[lo:hi].tolist(), types[lo:hi].tolist(),"
+                   " takens[lo:hi].tolist(), gaps[lo:hi].tolist()):")
+        # LLBPTageScL.advance: clock + prefetch arrivals.
+        out.append("            now += gap")
+        out.append("            if INFLIGHT and INFLIGHT[0][0] <= now:")
+        out.append("                drain(now)")
+        out.append("            if btype == 0:")
+        out.extend(cond_body(measuring))
+        # update_history tail: RCR.push inlined (history folds are never
+        # advanced — the columns already hold their values), then the
+        # prefetch issue with PrefetchEngine.issue's buffer-hit fast
+        # path hoisted out of the call.
+        out.append("            if QUAL[btype]:")
+        out.append("                value = acc_pf = ("
+                   f"(acc_pf << {shift})"
+                   f" ^ ((RPCS[{distance}] >> 2) << {out_shift})"
+                   " ^ (pc >> 2))")
+        out.append("                pf_cid = (value ^ (value"
+                   f" >> {cid_bits}) ^ (value >> {2 * cid_bits}))"
+                   f" & {cid_mask}")
+        if distance:
+            out.append("                old_ccid = ccid")
+            out.append("                value = acc_cur = ("
+                       f"(acc_cur << {shift})"
+                       f" ^ ((RPCS[0] >> 2) << {out_shift})"
+                       f" ^ (RPCS[-{distance}] >> 2))")
+            out.append("                ccid = (value ^ (value"
+                       f" >> {cid_bits}) ^ (value >> {2 * cid_bits}))"
+                       f" & {cid_mask}")
+            out.append("                if ccid != old_ccid:")
+            out.append("                    cd_acc += 1")
+        else:
+            out.append("                if pf_cid != ccid:")
+            out.append("                    cd_acc += 1")
+            out.append("                ccid = pf_cid")
+        out.append("                RPCS.append(pc)")
+        out.append("                del RPCS[0]")
+        out.append(f"                if pf_cid not in PB_SETS[pf_cid % {pb_sets}]:")
+        if inline_issue:
+            # PrefetchEngine.issue flattened: the directory probe is a
+            # plain membership test (confidence replacement never
+            # reorders on lookup) and the arrival append is the only
+            # side effect; counters batch into the epilogue.
+            out.append(f"                    if pf_cid in CD_SETS[pf_cid % {cd_sets}]:")
+            out.append("                        pf_issued += 1")
+            out.append(f"                        INFLIGHT.append((now + {p.prefetcher.latency}, pf_cid))")
+            out.append("                    else:")
+            out.append("                        pf_dmiss += 1")
+        else:
+            out.append("                    issue(pf_cid, now)")
+        return out
+
+    lines.extend(record_lines(False, "split"))
+    lines.extend(record_lines(True, "n"))
+    lines.extend(_TSL_SCALAR_EPILOGUE)
+    add("    RCR._acc_pf = acc_pf")
+    add("    RCR._acc_cur = acc_cur")
+    add("    RCR.ccid = ccid")
+    add("    RCR.prefetch_cid = pf_cid")
+    add("    P._now = now")
+    add("    P._cd_accesses += cd_acc")
+    add("    BUF.hits += pb_hits")
+    add("    BUF.misses += pb_misses")
+    add("    PF.issued += pf_issued")
+    add("    PF.directory_misses += pf_dmiss")
+    add("    PF.squashed += pf_squash")
+    add("    counts = P.counts")
+    add("    counts['llbp_provided'] += llbp_provided")
+    add("    counts['no_override'] += no_override")
+    add("    counts['override_good'] += c_good")
+    add("    counts['override_bad'] += c_bad")
+    add("    counts['override_both_correct'] += c_both_correct")
+    add("    counts['override_both_wrong'] += c_both_wrong")
+    add("    counts['pb_miss_with_context'] += pb_miss_ctx")
+    add("    return measured_misp, misp_all")
+
+    namespace = _tsl_namespace(tsl)
+    namespace.update({
+        "P": p,
+        "BUF": p.buffer,
+        "PB_SETS": p.buffer._sets,
+        "CD_SETS": p.directory._sets,
+        "RCR": p.rcr,
+        "RPCS": p.rcr._pcs,
+        "PF": p.prefetcher,
+        "cid_at": p.rcr.cid_at,
+        "issue": p.prefetcher.issue,
+        "squash": p.prefetcher.squash,
+        "drain": p.prefetcher.drain,
+        "INFLIGHT": p.prefetcher._inflight,
+        "llbp_alloc": p._allocate_parts,
+        "SRANK": p._slot_rank,
+        "QUAL": tuple(p.rcr.qualifies(t) for t in range(8)),
+    })
+    exec(compile("\n".join(lines), "<array-sim-llbp>", "exec"), namespace)
+    return namespace["_sim"]
+
+
+# -- driver ------------------------------------------------------------------
+
+def _iter_rows(cols: np.ndarray, chunk: int = _CHUNK):
+    return chain.from_iterable(
+        cols[lo:lo + chunk].tolist() for lo in range(0, len(cols), chunk))
+
+
+def _restore_sc_history(sc, takens_cond: np.ndarray) -> None:
+    """Re-derive the corrector's 64-bit outcome history after a run.
+
+    The fused loops never advance it (every value it feeds is
+    precomputed in the columns), but it is part of the predictor's
+    post-run state, so rebuild it from the last 64 conditional outcomes
+    exactly as per-branch shifting would have left it.
+    """
+    if sc is None:
+        return
+    history = 0
+    for taken in takens_cond[-64:].tolist():
+        history = ((history << 1) | taken)
+    sc.history = history & ((1 << 64) - 1)
+
+
+def _per_pc_executions(pcs_measured: np.ndarray) -> Dict[int, int]:
+    """Execution counts per PC, dict-ordered by first execution.
+
+    Matches the Python engine's insertion order: ``np.unique`` returns
+    each PC's first occurrence index, and sorting by it reproduces the
+    order the serial loop first saw each PC.
+    """
+    if len(pcs_measured) == 0:
+        return {}
+    uniq, first, counts = np.unique(
+        pcs_measured, return_index=True, return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return dict(zip(uniq[order].tolist(), counts[order].tolist()))
+
+
+def run_simulation_array(
+    trace: Trace,
+    predictor: BranchPredictor,
+    warmup_instructions: Optional[int] = None,
+    collect_per_pc: bool = False,
+) -> SimulationResult:
+    """Array-engine counterpart of :func:`repro.sim.engine.run_simulation`.
+
+    Raises ``ValueError`` for unsupported predictors — the dispatcher in
+    :mod:`repro.sim.engine` checks :func:`unsupported_reason` first and
+    falls back to the Python engine instead.
+    """
+    from repro.sim.engine import DEFAULT_WARMUP_FRACTION
+
+    reason = unsupported_reason(predictor)
+    if reason is not None:
+        raise ValueError(f"array engine cannot run this predictor: {reason}")
+
+    if warmup_instructions is None:
+        warmup_instructions = int(
+            trace.num_instructions * DEFAULT_WARMUP_FRACTION)
+
+    n = len(trace)
+    if n:
+        cumulative = np.cumsum(trace.gaps, dtype=np.int64)
+        total_instructions = int(cumulative[-1])
+        split = int(np.searchsorted(
+            cumulative, warmup_instructions, side="right"))
+    else:
+        total_instructions = 0
+        split = 0
+
+    if n and split >= n:
+        warnings.warn(
+            f"warmup ({warmup_instructions} instructions) consumed the entire "
+            f"trace {trace.name!r} ({total_instructions} instructions); the "
+            "measured region is empty and all statistics will be zero",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    cond_mask = trace.types == 0
+    pcs_cond = trace.pcs[cond_mask]
+    takens_cond = trace.takens[cond_mask]
+    n_cond = len(pcs_cond)
+    csplit = int(cond_mask[:split].sum())
+
+    predictor_name = getattr(predictor, "name", type(predictor).__name__)
+    telemetry_on = telemetry.enabled()
+    start = time.perf_counter() if telemetry_on else 0.0
+
+    per_pc_misp: Dict[int, int] = {}
+    if type(predictor) is GShare:
+        idx = columns_mod.gshare_columns(trace, predictor)
+        sim = _compile_gshare(predictor)
+        measured_misp, misp_all = sim(
+            pcs_cond, takens_cond, idx, csplit, per_pc_misp)
+        # The fused loop reads history from the column; re-derive the
+        # final register value so predictor state matches the oracle.
+        history = 0
+        for taken in takens_cond[-predictor.history_bits:].tolist():
+            history = ((history << 1) | taken) & predictor._hist_mask
+        predictor.history = history
+    elif type(predictor) is TageScL:
+        cols = columns_mod.tsl_columns(trace, predictor)
+        sim = _compile_tsl(predictor)
+        measured_misp, misp_all = sim(
+            pcs_cond, takens_cond, cols, csplit, per_pc_misp)
+        _restore_sc_history(predictor.sc, takens_cond)
+    else:
+        tsl_cols, slot_cols = columns_mod.llbp_columns(trace, predictor)
+        # The fused loop wants one row per branch; memoise the combined
+        # matrix (in-memory only — the store keeps the two parts).
+        combined_key = (columns_mod.tsl_key(predictor.tsl) + "+" +
+                        columns_mod.llbp_key(predictor))
+        cols = trace.aux.get(combined_key)
+        if cols is None:
+            cols = np.concatenate([tsl_cols, slot_cols], axis=1)
+            trace.aux[combined_key] = cols
+        sim = _compile_llbp(predictor)
+        measured_misp, misp_all = sim(
+            trace.pcs, trace.types, trace.takens, trace.gaps,
+            _iter_rows(cols), split, per_pc_misp)
+        predictor.counts["predictions"] += n_cond
+        _restore_sc_history(predictor.tsl.sc, takens_cond)
+
+    # Per-branch stats the fused loops account for in bulk.
+    predictor.stats.lookups += n_cond
+    predictor.stats.mispredictions += misp_all
+
+    per_pc_exec: Dict[int, int] = {}
+    if collect_per_pc:
+        per_pc_exec = _per_pc_executions(pcs_cond[csplit:])
+    else:
+        per_pc_misp = {}
+
+    if telemetry_on:
+        telemetry.emit(
+            "sim.run", workload=trace.name, predictor=predictor_name,
+            engine="array", branches=n, instructions=total_instructions,
+            mispredictions=measured_misp,
+            seconds=time.perf_counter() - start)
+
+    branches = n - split
+    cond_branches = n_cond - csplit if split < n else 0
+
+    if split < n:
+        measured_instr_start = int(cumulative[split - 1]) if split else 0
+    else:
+        measured_instr_start = total_instructions
+
+    finalize = getattr(predictor, "finalize_stats", None)
+    if finalize is not None:
+        finalize()
+
+    return SimulationResult(
+        extra=dict(predictor.stats.extra),
+        workload=trace.name,
+        predictor=predictor_name,
+        instructions=total_instructions - measured_instr_start,
+        warmup_instructions=measured_instr_start,
+        branches=branches,
+        cond_branches=cond_branches,
+        mispredictions=measured_misp,
+        per_pc_mispredictions=per_pc_misp,
+        per_pc_executions=per_pc_exec,
+    )

@@ -1,0 +1,223 @@
+"""Precomputed per-branch hash/fold columns for the array engine.
+
+Every index, tag and fold the predictors hash per branch is a pure
+function of (trace stream, predictor geometry) — it depends on the
+history *bits*, never on predictions or table contents.  That makes the
+whole hashing layer precomputable: one recorder pass over the trace with
+a fresh predictor of the right geometry captures, per conditional
+branch, every TAGE table index and tag, every SC component index, and
+every LLBP slot tag.  The fused simulation loops then consume these as
+flat integer rows and never touch the folded-history machinery at all.
+
+Columns are memoised on ``Trace.aux`` (keyed by a digest of the
+geometry) and, when the trace came from the packed store
+(:mod:`repro.traces.store`), persisted back into the trace file as aux
+sections — precompute once, reuse across every run and process.  An old
+store file lacking the columns emits ``trace.store_stale`` and is
+transparently upgraded in place.
+
+The scalar reference implementations these columns must match are the
+predictors' own ``compute_index`` / ``compute_tag`` /
+``compute_slot_tags`` / ``_component_index`` methods; the property
+tests in ``tests/sim/test_columns.py`` pin that equivalence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.predictors.history import PATH_BITS
+from repro.traces.trace import Trace
+
+
+def _digest(*parts) -> str:
+    return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+
+def tsl_key(tsl) -> str:
+    """Aux key of the TAGE+SC column matrix for ``tsl``'s geometry."""
+    tage_cfg = tsl.tage.config
+    return "cols/tsl:" + _digest(
+        tuple(tage_cfg.history_lengths), tage_cfg.index_bits,
+        tage_cfg.tag_bits, PATH_BITS,
+        tuple(tsl.sc.history_lengths), tsl.sc.index_bits)
+
+
+def llbp_key(predictor) -> str:
+    """Aux key of the LLBP slot-tag matrix for ``predictor``'s geometry."""
+    return "cols/llbp:" + _digest(
+        tuple(predictor.config.slot_lengths),
+        predictor.config.pattern_tag_bits)
+
+
+def gshare_key(predictor) -> str:
+    return f"cols/gshare:{predictor.index_bits}:{predictor.history_bits}"
+
+
+def _column_dtype(max_bits: int):
+    return np.uint16 if max_bits <= 16 else np.uint32
+
+
+def gshare_index_column(trace: Trace, index_bits: int,
+                        history_bits: int) -> np.ndarray:
+    """The gshare table index of every conditional branch, vectorised.
+
+    Bit ``k`` of the history at conditional branch ``i`` is the outcome
+    of conditional branch ``i - 1 - k`` (gshare shifts outcomes in for
+    conditional branches only), so each history bit-lane is a shifted
+    copy of the taken column.  Equivalent to replaying
+    ``GShare._index`` / ``update_history`` per branch.
+    """
+    cond = trace.types == 0
+    pcs = trace.pcs[cond].astype(np.uint64)
+    takens = trace.takens[cond].astype(np.uint64)
+    n = len(pcs)
+    hist = np.zeros(n, dtype=np.uint64)
+    for k in range(history_bits):
+        if k + 1 >= n:
+            break
+        hist[k + 1:] |= takens[:n - k - 1] << np.uint64(k)
+    idx = ((pcs >> np.uint64(2)) ^ hist) & np.uint64((1 << index_bits) - 1)
+    return idx.astype(np.uint32)
+
+
+def _record_columns(trace: Trace, tsl_config,
+                    llbp_config=None) -> Tuple[np.ndarray,
+                                               Optional[np.ndarray]]:
+    """One recorder pass: TAGE indices/tags + SC indices (+ slot tags).
+
+    A *fresh* predictor of the requested geometry walks the trace doing
+    lookups only — its tables stay empty (every computed tag is >= 0,
+    the tag arrays hold the -1 sentinel, so nothing ever matches) and
+    its RNG is never touched; only the history folds advance.  The
+    recorded hashes are therefore exactly what a simulated predictor of
+    the same geometry computes at each branch, regardless of training.
+    """
+    from repro.predictors.tage_sc_l import TageScL
+
+    slot_fn = None
+    slot_count = 0
+    if llbp_config is not None:
+        from repro.llbp.predictor import LLBPTageScL
+
+        recorder = LLBPTageScL(llbp_config, baseline=TageScL(tsl_config))
+        tsl = recorder.tsl
+        slot_fn = recorder._slot_tags
+        slot_count = len(llbp_config.slot_lengths)
+    else:
+        tsl = TageScL(tsl_config)
+
+    tage, sc = tsl.tage, tsl.sc
+    num_tables = tage.config.num_tables
+    num_sc = len(sc.history_lengths)
+    n_cond = int((trace.types == 0).sum())
+
+    tsl_dtype = _column_dtype(max(tage.config.index_bits,
+                                  tage.config.tag_bits, sc.index_bits))
+    cols = np.empty((n_cond, 2 * num_tables + num_sc), dtype=tsl_dtype)
+    slot_cols = None
+    if slot_fn is not None:
+        slot_cols = np.empty(
+            (n_cond, slot_count),
+            dtype=_column_dtype(llbp_config.pattern_tag_bits))
+
+    match = tage._match
+    vote = sc._vote
+    history = tage.history
+    path_shift = tage._path_shift
+    push = history.push_branch
+    sc_hist = 0
+    sc_mask = (1 << 64) - 1
+    row_index = 0
+    for pc, btype, taken_i, target, gap in trace.iter_tuples():
+        if btype == 0:
+            pcx = pc >> 2
+            path = history.path
+            indices, tags, _, _ = match(
+                pcx, pcx ^ (path ^ (path >> path_shift)))
+            row = cols[row_index]
+            row[:num_tables] = indices
+            row[num_tables:2 * num_tables] = tags
+            row[2 * num_tables:] = vote(pcx, sc_hist)[0]
+            if slot_fn is not None:
+                slot_cols[row_index] = slot_fn(pcx)
+            sc_hist = ((sc_hist << 1) | taken_i) & sc_mask
+            row_index += 1
+        push(pc, btype == 0, taken_i == 1)
+    return cols, slot_cols
+
+
+def _persist(trace: Trace, arrays: dict) -> None:
+    """Publish freshly computed columns back into the trace's store file."""
+    if trace.store_path is None or not arrays:
+        return
+    from repro.traces import store
+
+    for key in arrays:
+        telemetry.emit("trace.store_stale", workload=trace.name,
+                       path=str(trace.store_path),
+                       reason="missing-columns", key=key)
+    store.append_aux(trace.store_path, arrays)
+
+
+def gshare_columns(trace: Trace, predictor) -> np.ndarray:
+    """Per-conditional-branch gshare indices (memoised, not persisted)."""
+    key = gshare_key(predictor)
+    cached = trace.aux.get(key)
+    if cached is None:
+        cached = gshare_index_column(
+            trace, predictor.index_bits, predictor.history_bits)
+        trace.aux[key] = cached
+    return cached
+
+
+def tsl_columns(trace: Trace, predictor) -> np.ndarray:
+    """TAGE index/tag + SC index columns for a :class:`TageScL`.
+
+    Row layout per conditional branch (``T`` TAGE tables, ``C`` SC
+    components): ``[idx_0..idx_T-1, tag_0..tag_T-1, sc_0..sc_C-1]``.
+    """
+    key = tsl_key(predictor)
+    cached = trace.aux.get(key)
+    if cached is None:
+        start = time.perf_counter()
+        cached, _ = _record_columns(trace, predictor.config)
+        trace.aux[key] = cached
+        _persist(trace, {key: cached})
+        telemetry.emit("sim.columns", workload=trace.name, key=key,
+                       rows=len(cached),
+                       seconds=time.perf_counter() - start)
+    return cached
+
+
+def llbp_columns(trace: Trace, predictor) -> Tuple[np.ndarray, np.ndarray]:
+    """``(tsl_columns, slot_tag_columns)`` for an :class:`LLBPTageScL`.
+
+    Both matrices come out of one recorder pass when either is missing;
+    only the missing ones are (re)stored.
+    """
+    t_key = tsl_key(predictor.tsl)
+    s_key = llbp_key(predictor)
+    t_cached = trace.aux.get(t_key)
+    s_cached = trace.aux.get(s_key)
+    if t_cached is None or s_cached is None:
+        start = time.perf_counter()
+        tsl_cols, slot_cols = _record_columns(
+            trace, predictor.tsl.config, predictor.config)
+        fresh = {}
+        if t_cached is None:
+            trace.aux[t_key] = t_cached = tsl_cols
+            fresh[t_key] = tsl_cols
+        if s_cached is None:
+            trace.aux[s_key] = s_cached = slot_cols
+            fresh[s_key] = slot_cols
+        _persist(trace, fresh)
+        telemetry.emit("sim.columns", workload=trace.name, key=s_key,
+                       rows=len(s_cached),
+                       seconds=time.perf_counter() - start)
+    return t_cached, s_cached

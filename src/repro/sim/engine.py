@@ -24,6 +24,7 @@ must match it misprediction-for-misprediction.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from typing import Dict, Optional
@@ -39,6 +40,29 @@ from repro.traces.trace import Trace
 #: Fraction of the trace used for warmup when not given explicitly; the
 #: paper warms 100M of 300M total instructions.
 DEFAULT_WARMUP_FRACTION = 1.0 / 3.0
+
+#: Engine implementations selectable per run.  ``python`` is the serial
+#: reference loop below (the oracle); ``array`` is the fused codegen
+#: engine in :mod:`repro.sim.array`, bit-identical where supported.
+ENGINES = ("python", "array")
+
+#: Environment variable consulted when no explicit ``engine=`` is given.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the engine name: argument > ``REPRO_ENGINE`` env > python.
+
+    Raises ``ValueError`` for unknown names so typos fail loudly rather
+    than silently running the wrong engine.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "python"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {engine!r}; expected one of "
+            f"{', '.join(ENGINES)}")
+    return engine
 
 
 def _run_warmup(trace: Trace, stop: int, predict, train, update_history,
@@ -158,8 +182,27 @@ def run_simulation(
     predictor: BranchPredictor,
     warmup_instructions: Optional[int] = None,
     collect_per_pc: bool = False,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
-    """Run ``predictor`` over ``trace`` and return measured statistics."""
+    """Run ``predictor`` over ``trace`` and return measured statistics.
+
+    ``engine`` selects the implementation (see :func:`resolve_engine`);
+    the array engine is bit-identical for the predictor families it
+    supports and transparently falls back to the Python loop (with a
+    ``sim.engine_fallback`` telemetry event) for the rest.
+    """
+    if resolve_engine(engine) == "array":
+        from repro.sim import array
+
+        reason = array.unsupported_reason(predictor)
+        if reason is None:
+            return array.run_simulation_array(
+                trace, predictor, warmup_instructions, collect_per_pc)
+        telemetry.emit(
+            "sim.engine_fallback", workload=trace.name,
+            predictor=getattr(predictor, "name", type(predictor).__name__),
+            reason=reason)
+
     if warmup_instructions is None:
         warmup_instructions = int(trace.num_instructions * DEFAULT_WARMUP_FRACTION)
 

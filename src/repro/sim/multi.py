@@ -52,7 +52,8 @@ from repro.predictors.history import GlobalHistory, HistorySet, _compile_push
 from repro.predictors.perfect import PerfectPredictor
 from repro.predictors.tage import Tage, _compile_match, _compile_scan
 from repro.predictors.tage_sc_l import TageScL
-from repro.sim.engine import DEFAULT_WARMUP_FRACTION
+from repro.sim.engine import (DEFAULT_WARMUP_FRACTION, resolve_engine,
+                              run_simulation)
 from repro.sim.results import SimulationResult
 from repro.traces.trace import Trace
 
@@ -347,6 +348,7 @@ def run_simulation_batch(
     predictors: Sequence[BranchPredictor],
     warmup_instructions: Optional[int] = None,
     collect_per_pc: bool = False,
+    engine: Optional[str] = None,
 ) -> List[SimulationResult]:
     """Run every predictor over ``trace`` in one decode pass.
 
@@ -356,12 +358,25 @@ def run_simulation_batch(
     instances: the pass rewires identical-geometry folded-history sets
     to share fold computation (see :func:`install_fold_sharing`), which
     assumes they are discarded afterwards.
+
+    Under ``engine="array"`` (or ``REPRO_ENGINE=array``) each member
+    runs through the array engine instead of the fused Python pass —
+    the per-trace hash columns memoised on ``trace.aux`` play the role
+    the shared fold/lookup cores play here, so cross-member hash work
+    is still paid once per geometry.
     """
     if not predictors:
         return []
     if len({id(p) for p in predictors}) != len(predictors):
         raise ValueError("batch members must be distinct predictor "
                          "instances")
+
+    if resolve_engine(engine) == "array":
+        return [
+            run_simulation(trace, predictor, warmup_instructions,
+                           collect_per_pc, engine="array")
+            for predictor in predictors
+        ]
     if warmup_instructions is None:
         warmup_instructions = int(trace.num_instructions
                                   * DEFAULT_WARMUP_FRACTION)

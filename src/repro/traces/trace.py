@@ -22,9 +22,18 @@ BranchTuple = Tuple[int, int, int, int, int]  # (pc, type, taken, target, gap)
 
 
 class Trace:
-    """An immutable sequence of branch records backed by numpy arrays."""
+    """An immutable sequence of branch records backed by numpy arrays.
 
-    __slots__ = ("pcs", "types", "takens", "targets", "gaps", "name")
+    ``aux`` carries optional derived columns keyed by string — the array
+    engine's precomputed hash/fold columns live there (persisted by the
+    packed store when the trace came from it).  ``store_path`` is the
+    packed-store file backing this trace, or ``None`` for in-memory
+    traces; consumers use it to persist freshly derived aux columns.
+    Neither participates in trace equality or length checks.
+    """
+
+    __slots__ = ("pcs", "types", "takens", "targets", "gaps", "name",
+                 "aux", "store_path")
 
     def __init__(
         self,
@@ -46,6 +55,8 @@ class Trace:
         self.targets = np.asarray(targets, dtype=np.uint64)
         self.gaps = np.asarray(gaps, dtype=np.uint16)
         self.name = name
+        self.aux: dict = {}
+        self.store_path = None
 
     def __len__(self) -> int:
         return len(self.pcs)

@@ -1,0 +1,164 @@
+"""Array engine: bit-identity with the Python oracle, and dispatch.
+
+The array engine (:mod:`repro.sim.array`) is a performance back-end, not
+a second implementation of the predictors: it must produce *the same
+object* the Python engine produces — every counter, every per-PC dict in
+the same insertion order, every ``extra`` entry — and leave the predictor
+instance in the same final state (``state_arrays()``).  These tests pin
+that equivalence over the full 14-workload catalog for every supported
+predictor family, and pin the engine-selection contract
+(argument > ``REPRO_ENGINE`` > default, graceful fallback for
+unsupported predictors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.predictors.bimodal import Bimodal
+from repro.predictors.registry import make_predictor
+from repro.sim import array
+from repro.sim.engine import ENGINE_ENV_VAR, resolve_engine, run_simulation
+from repro.sim.multi import run_simulation_batch
+from repro.workloads.catalog import generate_workload, workload_names
+
+#: The families the array engine supports, by registry key.
+KEYS = ("gshare", "tsl64", "llbp")
+
+#: Same budget as the golden-MPKI fixtures: small enough that the full
+#: 14x3 matrix stays in test-suite territory, long enough to exercise
+#: warmup, allocation churn and the LLBP prefetch machinery.
+INSTRUCTIONS = 30_000
+
+
+def _run_both(trace, key):
+    """One Python-engine and one array-engine run with fresh predictors."""
+    oracle = make_predictor(key)
+    subject = make_predictor(key)
+    ref = run_simulation(trace, oracle, collect_per_pc=True,
+                         engine="python")
+    res = run_simulation(trace, subject, collect_per_pc=True,
+                         engine="array")
+    return oracle, subject, ref, res
+
+
+def _assert_identical(ref, res):
+    """Full result equality, including per-PC dict insertion order."""
+    assert ref == res
+    assert list(ref.per_pc_mispredictions.items()) == \
+        list(res.per_pc_mispredictions.items())
+    assert list(ref.per_pc_executions.items()) == \
+        list(res.per_pc_executions.items())
+    assert ref.extra == res.extra
+
+
+def _assert_state_equal(oracle, subject):
+    a, b = oracle.state_arrays(), subject.state_arrays()
+    assert sorted(a) == sorted(b)
+    for name in a:
+        assert np.array_equal(a[name], b[name]), name
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_bit_identity_full_catalog(workload):
+    trace = generate_workload(workload, INSTRUCTIONS)
+    for key in KEYS:
+        oracle, subject, ref, res = _run_both(trace, key)
+        _assert_identical(ref, res)
+        _assert_state_equal(oracle, subject)
+
+
+def test_supported_families():
+    for key in KEYS:
+        assert array.unsupported_reason(make_predictor(key)) is None
+        assert array.supports(make_predictor(key))
+    assert not array.supports(Bimodal())
+    assert array.unsupported_reason(Bimodal()) is not None
+
+
+def test_without_per_pc_collection():
+    trace = generate_workload("Kafka", INSTRUCTIONS)
+    ref = run_simulation(trace, make_predictor("tsl64"), engine="python")
+    res = run_simulation(trace, make_predictor("tsl64"), engine="array")
+    assert ref == res
+    assert res.per_pc_mispredictions == {}
+    assert res.per_pc_executions == {}
+
+
+def test_explicit_warmup_budget():
+    trace = generate_workload("Tomcat", INSTRUCTIONS)
+    warmup = INSTRUCTIONS // 5
+    ref = run_simulation(trace, make_predictor("llbp"), warmup,
+                         collect_per_pc=True, engine="python")
+    res = run_simulation(trace, make_predictor("llbp"), warmup,
+                         collect_per_pc=True, engine="array")
+    _assert_identical(ref, res)
+
+
+def test_unsupported_predictor_raises_in_direct_call():
+    trace = generate_workload("Kafka", INSTRUCTIONS)
+    with pytest.raises(ValueError, match="array engine cannot"):
+        array.run_simulation_array(trace, Bimodal())
+
+
+class TestEngineSelection:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert resolve_engine() == "python"
+        assert resolve_engine(None) == "python"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "array")
+        assert resolve_engine() == "array"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "array")
+        assert resolve_engine("python") == "python"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            resolve_engine("fortran")
+        monkeypatch.setenv(ENGINE_ENV_VAR, "fortran")
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            resolve_engine()
+
+    def test_env_drives_run_simulation(self, monkeypatch):
+        trace = generate_workload("Kafka", INSTRUCTIONS)
+        ref = run_simulation(trace, make_predictor("gshare"),
+                             collect_per_pc=True, engine="python")
+        monkeypatch.setenv(ENGINE_ENV_VAR, "array")
+        res = run_simulation(trace, make_predictor("gshare"),
+                             collect_per_pc=True)
+        _assert_identical(ref, res)
+
+
+def test_unsupported_predictor_falls_back(tmp_path, monkeypatch):
+    """``engine="array"`` with an unsupported predictor degrades to the
+    Python engine — same answer, plus a ``sim.engine_fallback`` event."""
+    trace = generate_workload("Kafka", INSTRUCTIONS)
+    ref = run_simulation(trace, Bimodal(), engine="python")
+    monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "events"))
+    try:
+        res = run_simulation(trace, Bimodal(), engine="array")
+    finally:
+        telemetry.reset()
+    assert ref == res
+    events = [e for e in telemetry.load_events(tmp_path / "events")
+              if e["event"] == "sim.engine_fallback"]
+    assert len(events) == 1
+    assert events[0]["workload"] == trace.name
+
+
+def test_batch_matches_serial_python():
+    """A batched array run equals member-by-member Python-engine runs."""
+    trace = generate_workload("Spring", INSTRUCTIONS)
+    refs = [run_simulation(trace, make_predictor(key),
+                           collect_per_pc=True, engine="python")
+            for key in KEYS]
+    results = run_simulation_batch(
+        trace, [make_predictor(key) for key in KEYS],
+        collect_per_pc=True, engine="array")
+    for ref, res in zip(refs, results):
+        _assert_identical(ref, res)

@@ -1,0 +1,147 @@
+"""Precomputed hash/fold columns == the predictors' own rolling hashes.
+
+The array engine's whole premise is that every per-branch hash is a pure
+function of the trace stream and the predictor geometry — independent of
+table contents, predictions and training.  These properties pin that:
+
+* the vectorised gshare index column equals a scalar replay through the
+  real predictor's ``_index``/``update_history``;
+* the TAGE/SC column matrix recorded by a *fresh, untrained* predictor
+  equals the values a *live, training* simulation computes at every
+  conditional branch (captured by instrumenting the compiled ``_match``
+  and ``_vote`` cores mid-run);
+* ditto for the LLBP slot-tag matrix, wherever the live predictor
+  computes slot tags at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.predictors.gshare import GShare
+from repro.predictors.registry import make_predictor
+from repro.sim import columns
+from repro.sim.engine import run_simulation
+from repro.traces.trace import TraceBuilder
+from repro.traces.types import BranchType
+from repro.workloads.catalog import generate_workload
+
+#: (pc-slot, branch type, taken) tuples; a handful of distinct PCs is
+#: enough to drive aliasing in every fold width the predictors use.
+branch_lists = st.lists(
+    st.tuples(st.integers(0, 7),
+              st.sampled_from([BranchType.COND, BranchType.JUMP,
+                               BranchType.CALL, BranchType.RET]),
+              st.booleans()),
+    min_size=1, max_size=120)
+
+
+def build_trace(branches):
+    builder = TraceBuilder("prop")
+    for slot, btype, taken in branches:
+        pc = 0x4000 + 16 * slot
+        builder.append(pc, btype, taken, pc ^ 0x1F0, 3)
+    return builder.build()
+
+
+@given(branch_lists)
+def test_gshare_column_matches_scalar_replay(branches):
+    trace = build_trace(branches)
+    predictor = GShare()
+    expected = []
+    for pc, btype, taken, target, _gap in trace.iter_tuples():
+        if btype == 0:
+            expected.append(predictor._index(pc))
+        predictor.update_history(pc, btype, taken == 1, target)
+    column = columns.gshare_index_column(
+        trace, predictor.index_bits, predictor.history_bits)
+    assert column.tolist() == expected
+
+
+@given(branch_lists)
+@settings(max_examples=25)
+def test_tsl_columns_match_live_simulation(branches):
+    """A fresh recorder and a live, training predictor hash identically."""
+    trace = build_trace(branches)
+    live = make_predictor("tsl64")
+    recorded_match, recorded_vote = [], []
+
+    real_match, real_vote = live.tage._match, live.sc._vote
+
+    def spy_match(pcx, path_mix):
+        indices, tags, provider, alt = real_match(pcx, path_mix)
+        recorded_match.append((list(indices), list(tags)))
+        return indices, tags, provider, alt
+
+    def spy_vote(pcx, history):
+        indices, vote = real_vote(pcx, history)
+        recorded_vote.append(list(indices))
+        return indices, vote
+
+    live.tage._match = spy_match
+    live.sc._vote = spy_vote
+    run_simulation(trace, live, warmup_instructions=0, engine="python")
+
+    cols = columns.tsl_columns(trace, make_predictor("tsl64"))
+    num_tables = live.tage.config.num_tables
+    assert len(cols) == len(recorded_match) == len(recorded_vote)
+    for row, (indices, tags), sc_indices in zip(cols, recorded_match,
+                                                recorded_vote):
+        assert row[:num_tables].tolist() == indices
+        assert row[num_tables:2 * num_tables].tolist() == tags
+        assert row[2 * num_tables:].tolist() == sc_indices
+
+
+def test_llbp_slot_tags_match_live_simulation():
+    """Wherever the live LLBP hashes slot tags, the matrix agrees.
+
+    Slot tags are only computed on pattern-buffer hits, so this needs a
+    real workload (warm contexts), not a synthetic micro-trace.
+    """
+    trace = generate_workload("Kafka", 30_000)
+    live = make_predictor("llbp")
+    row_of_call = {}
+    state = {"row": -1}
+
+    real_predict = live.predict
+    real_slot_tags = live.compute_slot_tags
+
+    def spy_predict(pc):
+        state["row"] += 1
+        return real_predict(pc)
+
+    def spy_slot_tags(pc):
+        tags = real_slot_tags(pc)
+        row_of_call[state["row"]] = list(tags)
+        return tags
+
+    live.predict = spy_predict
+    live.compute_slot_tags = spy_slot_tags
+    run_simulation(trace, live, engine="python")
+
+    _, slot_cols = columns.llbp_columns(trace, make_predictor("llbp"))
+    assert len(slot_cols) == state["row"] + 1
+    assert row_of_call, "no pattern-buffer hit ever computed slot tags"
+    for row, tags in row_of_call.items():
+        assert slot_cols[row].tolist() == tags
+
+
+def test_columns_are_memoised_on_trace_aux():
+    trace = generate_workload("Kafka", 30_000)
+    predictor = make_predictor("tsl64")
+    first = columns.tsl_columns(trace, predictor)
+    assert columns.tsl_columns(trace, predictor) is first
+    assert columns.tsl_key(predictor) in trace.aux
+
+
+def test_column_dtype_stays_compact():
+    assert columns._column_dtype(12) == np.uint16
+    assert columns._column_dtype(16) == np.uint16
+    assert columns._column_dtype(17) == np.uint32
