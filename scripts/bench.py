@@ -18,6 +18,15 @@ to its serial equivalents and must not be slower than running them
 serially (the committed ``batched_sweep`` section records the full
 multi-key speedup; see ``harness.py --sweep-only``).
 
+Both modes also gate the committed ``distributed_sweep`` section (see
+``harness.py --distributed-only``): the recorded fig09 sweep over
+loopback TCP workers must be byte-identical to serial and hold the
+>=1.6x / 0.8-efficiency scaling floor on 2 workers (measured when the
+recording host had >=2 CPUs, projected from the 1-worker overhead
+otherwise).  This check is deterministic — no worker fleets are spawned
+by the gate itself; the live distributed paths run in the CI
+``test-distributed`` leg.
+
 Both modes additionally gate the array engine (``repro.sim.array``):
 bit-identity to the Python engine is a hard failure in either mode; the
 full gate also checks the committed ``array_engine`` numbers hold the
@@ -108,6 +117,52 @@ def _gate_batched(trace, committed: dict) -> int:
 #: Python-engine "after" numbers for the hot predictor families.
 ARRAY_SPEEDUP_FLOOR = 5.0
 ARRAY_GATE_KEYS = ("tsl64", "llbp")
+
+#: Acceptance floors for the committed distributed sweep: 2 loopback
+#: workers must deliver >=1.6x over cold serial (>=0.8 scaling
+#: efficiency).  On a single-core recording host the measured 2-worker
+#: speedup is physically capped at ~1x, so the gate falls back to the
+#: overhead-derived ``projected_speedup_2_workers`` (see
+#: ``harness.measure_distributed_sweep``).
+DISTRIBUTED_SPEEDUP_FLOOR = 1.6
+DISTRIBUTED_EFFICIENCY_FLOOR = 0.8
+
+
+def _gate_distributed(data: dict) -> int:
+    """Gate the committed ``distributed_sweep`` section (deterministic —
+    no fleets are spawned here; the CI ``test-distributed`` leg runs the
+    live byte-identity checks).  Byte-identity is a hard failure; the
+    scaling floor is checked against the measured 2-worker numbers when
+    the recording host had >=2 CPUs, else against the projection.
+    """
+    sweep = data.get("distributed_sweep")
+    if not sweep:
+        print("no committed distributed_sweep section; run "
+              "benchmarks/perf/harness.py --distributed-only to record one")
+        return 1
+    if not sweep.get("byte_identical"):
+        print("FAIL: committed distributed sweep was not byte-identical "
+              "to serial")
+        return 1
+
+    two = sweep.get("workers", {}).get("2", {})
+    if sweep.get("host_cpus", 0) >= 2:
+        speedup, basis = two.get("speedup", 0.0), "measured"
+        efficiency = two.get("efficiency", 0.0)
+    else:
+        speedup = sweep.get("projected_speedup_2_workers", 0.0)
+        efficiency, basis = speedup / 2, "projected (1-core host)"
+    ok = (speedup >= DISTRIBUTED_SPEEDUP_FLOOR
+          and efficiency >= DISTRIBUTED_EFFICIENCY_FLOOR)
+    print(f"  distributed  {speedup:.2f}x on 2 workers ({basis}, "
+          f"efficiency {efficiency:.2f})  byte-identical  "
+          f"{'ok' if ok else 'REGRESSED'}")
+    if not ok:
+        print(f"FAIL: distributed sweep below the "
+              f"{DISTRIBUTED_SPEEDUP_FLOOR}x / "
+              f"{DISTRIBUTED_EFFICIENCY_FLOOR} efficiency floor")
+        return 1
+    return 0
 
 
 def _gate_array(trace, data: dict, threshold: float) -> int:
@@ -262,6 +317,8 @@ def _smoke(args, baseline: dict) -> int:
         return 1
     if _smoke_array(trace, args.data, args.threshold):
         return 1
+    if _gate_distributed(args.data):
+        return 1
     print("PASS: no key regressed beyond threshold (relative gate)")
     return 0
 
@@ -345,6 +402,8 @@ def main(argv=None):
     if _gate_batched(trace, data.get("batched_sweep", {})):
         return 1
     if _gate_array(trace, data, args.threshold):
+        return 1
+    if _gate_distributed(data):
         return 1
     print("PASS: no key regressed beyond threshold")
     return 0

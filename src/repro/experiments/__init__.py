@@ -21,13 +21,12 @@ from repro.experiments.common import (
     experiment_instructions,
     format_table,
 )
-from repro.experiments.runner import get_result, resolve_predictor, clear_memory_cache
+from repro.experiments.runner import get_result, clear_memory_cache
 
 __all__ = [
     "experiment_workloads",
     "experiment_instructions",
     "format_table",
     "get_result",
-    "resolve_predictor",
     "clear_memory_cache",
 ]

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments [fig01 fig02 ... table3] [--jobs N]
                                 [--engine NAME] [--telemetry [DIR]]
+                                [--backend NAME] [--workers SPEC]
                                 [--resume] [--retries N] [--job-timeout S]
 
 With no experiment names every experiment runs (simulation results are
@@ -15,6 +16,12 @@ REPRO_WORKLOADS / REPRO_INSTRUCTIONS.
 ``--engine array`` (or ``REPRO_ENGINE=array``) runs every simulation on
 the array engine — bit-identical results, several times faster for the
 TAGE-SC-L/LLBP families; the Python engine stays the default oracle.
+
+``--backend tcp`` (or ``REPRO_BACKEND=tcp``) shards the prewarm across
+``python -m repro.worker`` processes — ``--workers`` names either a
+loopback worker count or ``host:port,...`` listeners on other machines
+(REPRO_BACKEND_WORKERS) — byte-identical to a local run, with traces
+shared through the content-addressed store.
 
 The run is fault-tolerant: failed simulations retry with backoff
 (``--retries`` / REPRO_RETRIES), hung workers are killed after
@@ -40,6 +47,7 @@ import sys
 import time
 
 from repro import parallel, telemetry
+from repro.parallel import backend as backend_mod
 from repro.sim import engine as engine_mod
 from repro.experiments import (
     fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
@@ -133,6 +141,18 @@ def main(argv) -> int:
                              "REPRO_ENGINE or python); the array engine "
                              "is bit-identical where supported and falls "
                              "back to python elsewhere")
+    parser.add_argument("--backend", choices=("local", "tcp"),
+                        default=None,
+                        help="execution backend for the simulation prewarm "
+                             "(default: REPRO_BACKEND or local); tcp "
+                             "shards batched tasks across repro.worker "
+                             "processes")
+    parser.add_argument("--workers", default=None, metavar="SPEC",
+                        help="tcp-backend workers: a loopback worker count "
+                             "or a comma-separated host:port list of "
+                             "'python -m repro.worker --listen' processes "
+                             "(default: REPRO_BACKEND_WORKERS; implies "
+                             "--backend tcp)")
     parser.add_argument("--resume", action="store_true",
                         help="continue an interrupted run: skip every "
                              "simulation the checkpoint journal records "
@@ -162,6 +182,15 @@ def main(argv) -> int:
         # Also via the environment: run_simulation consults REPRO_ENGINE
         # in-process and in every prewarm worker.
         os.environ[engine_mod.ENGINE_ENV_VAR] = args.engine
+
+    if args.workers is not None:
+        # Like --engine: the executor consults REPRO_BACKEND* when it
+        # builds the backend for the prewarm batch.
+        os.environ[backend_mod.ENV_WORKERS] = args.workers
+        if args.backend is None:
+            args.backend = "tcp"
+    if args.backend is not None:
+        os.environ[backend_mod.ENV_BACKEND] = args.backend
 
     policy = RetryPolicy.from_env()
     overrides = {}

@@ -23,14 +23,23 @@ it runs clean — ``x`` high enough exhausts the retry budget.  Modes:
   executor's per-job timeout must fire and the hung worker be killed;
 * ``kill``  — the worker process dies via SIGKILL, standing in for an
   OOM-kill or segfault: the executor must detect the broken pool,
-  rebuild it, and retry.
+  rebuild it, and retry;
+* ``drop``  — a severed connection: a TCP worker
+  (:mod:`repro.worker`) closes its socket and exits quietly, so the
+  submitting side sees EOF mid-task and must reschedule it on another
+  worker (in a pool worker, where there is no connection to sever,
+  ``drop`` behaves like ``kill``);
+* ``slow``  — a stalled worker: like ``hang``, the attempt sleeps for
+  ``REPRO_FAULT_HANG_SECONDS`` before proceeding.  On the TCP backend
+  the deadline then evicts just that connection instead of rebuilding
+  a pool.
 
 Faults are *assigned in the parent* (the dispatch counter lives here,
 in parent module state) and shipped to workers as an explicit argument,
 so the plan stays deterministic regardless of which worker runs which
 job.  When the faulted attempt runs in the parent process itself (the
-serial path, or after degradation to serial), ``kill`` and ``hang``
-downgrade to ``raise`` — chaos must not take down the main process or
+serial path, or after degradation to serial), every mode but ``raise``
+downgrades to ``raise`` — chaos must not take down the main process or
 stall the run it is testing.
 """
 
@@ -50,7 +59,7 @@ ENV_VAR = "REPRO_FAULTS"
 #: Environment variable: how long a ``hang`` fault stalls, in seconds.
 ENV_HANG = "REPRO_FAULT_HANG_SECONDS"
 
-MODES = ("raise", "hang", "kill")
+MODES = ("raise", "hang", "kill", "drop", "slow")
 
 
 class FaultInjected(RuntimeError):
@@ -178,15 +187,18 @@ def apply(mode: Optional[str], job: object, in_worker: bool) -> None:
         return
     telemetry.emit("parallel.fault", mode=mode, in_worker=in_worker,
                    job=repr(job))
-    if not in_worker and mode in ("kill", "hang"):
+    if not in_worker and mode != "raise":
         # Downgrade: chaos may not SIGKILL or stall the main process.
         raise FaultInjected(f"injected {mode} (downgraded to raise "
                             f"in-process) for {job!r}")
     if mode == "raise":
         raise FaultInjected(f"injected raise for {job!r}")
-    if mode == "hang":
+    if mode in ("hang", "slow"):
         time.sleep(hang_seconds())
         return  # then proceed normally, like a real stall
-    if mode == "kill":
+    if mode in ("kill", "drop"):
+        # ``drop`` reaching this generic path means a pool worker (a TCP
+        # worker severs its socket in repro.worker before getting here):
+        # without a connection to cut, dying is the closest stand-in.
         os.kill(os.getpid(), signal.SIGKILL)
     raise ValueError(f"unknown fault mode {mode!r}")

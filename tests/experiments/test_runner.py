@@ -4,7 +4,8 @@ import dataclasses
 
 import pytest
 
-from repro.experiments.runner import _parse_llbp_key, get_result, resolve_predictor
+from repro.experiments.runner import get_result
+from repro.predictors.registry import make_predictor, parse_llbp_spec
 from repro.llbp.config import ContextSource, LLBPConfig
 from repro.llbp.predictor import LLBPTageScL
 from repro.predictors.perfect import PerfectPredictor
@@ -13,17 +14,17 @@ from repro.predictors.tage_sc_l import TageScL
 
 class TestResolve:
     def test_simple_keys(self):
-        assert isinstance(resolve_predictor("tsl64"), TageScL)
-        assert isinstance(resolve_predictor("perfect"), PerfectPredictor)
-        assert resolve_predictor("tsl512").tage._size == 8 * resolve_predictor("tsl64").tage._size
+        assert isinstance(make_predictor("tsl64"), TageScL)
+        assert isinstance(make_predictor("perfect"), PerfectPredictor)
+        assert make_predictor("tsl512").tage._size == 8 * make_predictor("tsl64").tage._size
 
     def test_llbp_default(self):
-        predictor = resolve_predictor("llbp")
+        predictor = make_predictor("llbp")
         assert isinstance(predictor, LLBPTageScL)
         assert predictor.config.simulate_timing
 
     def test_llbp_parameters(self):
-        predictor = resolve_predictor("llbp:lat0,w=16,d=2,src=all,pb=16")
+        predictor = make_predictor("llbp:lat0,w=16,d=2,src=all,pb=16")
         cfg = predictor.config
         assert not cfg.simulate_timing
         assert cfg.context_window == 16
@@ -32,27 +33,27 @@ class TestResolve:
         assert cfg.pb_entries == 16
 
     def test_llbp_ablation_tokens(self):
-        cfg = resolve_predictor("llbp:unbucketed,lru,exclusive,noguard").config
+        cfg = make_predictor("llbp:unbucketed,lru,exclusive,noguard").config
         assert not cfg.bucketed
         assert cfg.cd_replacement == "lru"
         assert cfg.exclusive_provider_training
         assert not cfg.weak_override_guard
 
     def test_llbp_geometry_tokens(self):
-        cfg = resolve_predictor("llbp:unbucketed,cd_bits=10,ps=32").config
+        cfg = make_predictor("llbp:unbucketed,cd_bits=10,ps=32").config
         assert cfg.cd_set_bits == 10
         assert cfg.patterns_per_set == 32
         assert cfg.bucket_size == 32
 
     def test_unknown_key(self):
         with pytest.raises(KeyError):
-            resolve_predictor("nope")
+            make_predictor("nope")
 
     def test_unknown_llbp_token(self):
         with pytest.raises(ValueError):
-            resolve_predictor("llbp:frobnicate")
+            make_predictor("llbp:frobnicate")
         with pytest.raises(ValueError):
-            resolve_predictor("llbp:zz=3")
+            make_predictor("llbp:zz=3")
 
 
 class TestParseLLBPKey:
@@ -63,7 +64,7 @@ class TestParseLLBPKey:
     """
 
     def test_empty_spec_is_default(self):
-        assert _parse_llbp_key("") == LLBPConfig()
+        assert parse_llbp_spec("") == LLBPConfig()
 
     @pytest.mark.parametrize("token,field,value", [
         ("lat0", "simulate_timing", False),
@@ -83,7 +84,7 @@ class TestParseLLBPKey:
         ("lat=9", "prefetch_latency_cycles", 9),
     ])
     def test_single_token(self, token, field, value):
-        config = _parse_llbp_key(token)
+        config = parse_llbp_spec(token)
         assert getattr(config, field) == value
         # Only the named field (and nothing else) deviates from default.
         assert dataclasses.replace(config, **{field: getattr(LLBPConfig(), field)}) \
@@ -92,24 +93,24 @@ class TestParseLLBPKey:
     def test_ps_sets_patterns_per_set(self):
         # ``ps`` needs ``unbucketed`` alongside: bucketed configs pin the
         # pattern count to the slot-length list (LLBPConfig validates).
-        assert _parse_llbp_key("unbucketed,ps=48").patterns_per_set == 48
+        assert parse_llbp_spec("unbucketed,ps=48").patterns_per_set == 48
         with pytest.raises(ValueError):
-            _parse_llbp_key("ps=48")
+            parse_llbp_spec("ps=48")
 
     def test_tokens_compose(self):
-        config = _parse_llbp_key("lat0,unbucketed,cd_bits=10,ps=32")
+        config = parse_llbp_spec("lat0,unbucketed,cd_bits=10,ps=32")
         assert not config.simulate_timing
         assert not config.bucketed
         assert config.cd_set_bits == 10
         assert config.patterns_per_set == 32
 
     def test_whitespace_and_empty_tokens_ignored(self):
-        assert _parse_llbp_key(" lat0 , ,w=16") == _parse_llbp_key("lat0,w=16")
+        assert parse_llbp_spec(" lat0 , ,w=16") == parse_llbp_spec("lat0,w=16")
 
     @pytest.mark.parametrize("spec", ["bogus", "zz=3", "latency=4"])
     def test_unknown_tokens_rejected(self, spec):
         with pytest.raises(ValueError):
-            _parse_llbp_key(spec)
+            parse_llbp_spec(spec)
 
 
 class TestCacheRobustness:

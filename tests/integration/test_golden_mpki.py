@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.runner import resolve_predictor
+from repro.predictors.registry import make_predictor
 from repro.sim.engine import run_simulation
 from repro.workloads.catalog import generate_workload, workload_names
 
@@ -43,7 +43,7 @@ DIGITS = 6
 
 def _measure(workload: str) -> dict:
     trace = generate_workload(workload, INSTRUCTIONS)
-    return {key: round(run_simulation(trace, resolve_predictor(key)).mpki,
+    return {key: round(run_simulation(trace, make_predictor(key)).mpki,
                        DIGITS)
             for key in KEYS}
 

@@ -1,6 +1,6 @@
 """Cross-module invariants on real generated traces."""
 
-from repro.experiments.runner import resolve_predictor
+from repro.predictors.registry import make_predictor
 from repro.predictors.presets import tsl_64k
 from repro.sim.engine import run_simulation
 from repro.traces.stats import compute_stats
@@ -27,8 +27,8 @@ def test_trace_stats_consistent_with_simulation(tiny_workload_trace):
 
 def test_virtualized_llbp_variant(tiny_workload_trace):
     """The §V-A future-work variant: LLBP storage behind L2 latency."""
-    dedicated = resolve_predictor("llbp")
-    virtual = resolve_predictor("llbp:virt")
+    dedicated = make_predictor("llbp")
+    virtual = make_predictor("llbp:virt")
     assert virtual.config.prefetch_latency_cycles > dedicated.config.prefetch_latency_cycles
     r_ded = run_simulation(tiny_workload_trace, dedicated)
     r_virt = run_simulation(tiny_workload_trace, virtual)
@@ -41,7 +41,7 @@ def test_history_equivalence_across_composites(tiny_workload_trace):
     TAGE component sees the same stream as a standalone TSL, so the two
     agree whenever LLBP does not override."""
     standalone = tsl_64k()
-    composite = resolve_predictor("llbp:lat0")
+    composite = make_predictor("llbp:lat0")
 
     agree = disagreements = overrides = 0
     for pc, btype, taken_i, target, gap in tiny_workload_trace.iter_tuples():

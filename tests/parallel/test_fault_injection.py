@@ -199,3 +199,67 @@ class TestFig09StyleChaosRun:
         # The recovered batch must also format to the exact clean figure.
         rows = fig09.run()
         assert rows[-1]["workload"] == "Mean"
+
+
+@pytest.mark.distributed
+class TestTCPChaosRun:
+    """Satellite 3: the acceptance chaos scenario on the TCP backend.
+
+    ``drop@`` severs a worker's socket mid-task (the distributed
+    equivalent of SIGKILL — the submitter sees a dead connection, not an
+    error reply) and ``slow@`` stalls one long enough to trip the
+    per-job deadline.  Both must be absorbed without burning retry
+    attempts on the victim jobs, and the recovered figure must be
+    bit-identical to a clean serial run.
+    """
+
+    def test_drop_and_slow_across_one_figure_run(self, events, monkeypatch):
+        from repro.parallel.backend.tcp import TCPBackend
+
+        # drop first so its free WorkerLost reschedule happens while the
+        # second worker still holds the slow job; slow repeats (x2)
+        # because the dropped connection may take the in-flight fault
+        # share down with it.
+        faults.install("drop@0,slow@2x2")
+        jobs = _jobs()
+        backend = TCPBackend(spawn=2)
+        try:
+            by_job = parallel.run_jobs(
+                jobs, backend=backend,
+                policy=RetryPolicy(timeout=4.0, max_attempts=4,
+                                   base_delay=0.01, max_delay=0.05))
+        finally:
+            backend.close()
+
+        assert {e["mode"] for e in events("parallel.fault")} >= {"drop"}
+        assert events("parallel.timeout"), "slow never hit the deadline"
+        # The dead connection rescheduled as a free worker-loss, not a
+        # charged attempt: the run completed within the attempt budget.
+        assert events("parallel.worker_lost")
+        assert len(by_job) == len(jobs)
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+    def test_fig09_on_tcp_backend_is_bit_identical(self, events, monkeypatch):
+        """A fig09-style batch with chaos on the wire still reproduces
+        the clean figure exactly — the ISSUE's distributed acceptance
+        bar."""
+        from repro.experiments import fig09
+        from repro.parallel.backend.tcp import TCPBackend
+
+        faults.install("drop@1")
+        jobs = parallel.make_jobs(fig09.jobs())
+        backend = TCPBackend(spawn=2)
+        try:
+            by_job = parallel.run_jobs(
+                jobs, backend=backend,
+                policy=RetryPolicy(timeout=30.0, max_attempts=4,
+                                   base_delay=0.01, max_delay=0.05))
+        finally:
+            backend.close()
+
+        assert len(by_job) == len(jobs)
+        _assert_matches_clean_serial(by_job, monkeypatch)
+
+        # The recovered batch must also format to the exact clean figure.
+        rows = fig09.run()
+        assert rows[-1]["workload"] == "Mean"

@@ -93,18 +93,18 @@ class TestIndirect:
 
 class TestLLBPFrontendIntegration:
     def test_frontend_flag_creates_components(self):
-        from repro.experiments.runner import resolve_predictor
+        from repro.predictors.registry import make_predictor
 
-        plain = resolve_predictor("llbp")
+        plain = make_predictor("llbp")
         assert plain.btb is None and plain.indirect is None
-        modelled = resolve_predictor("llbp:frontend")
+        modelled = make_predictor("llbp:frontend")
         assert modelled.btb is not None and modelled.indirect is not None
 
     def test_frontend_flushes_counted(self, tiny_workload_trace):
-        from repro.experiments.runner import resolve_predictor
+        from repro.predictors.registry import make_predictor
         from repro.sim.engine import run_simulation
 
-        predictor = resolve_predictor("llbp:frontend")
+        predictor = make_predictor("llbp:frontend")
         result = run_simulation(tiny_workload_trace, predictor)
         assert result.extra.get("btb_flushes", 0) >= 0
         assert predictor.indirect.lookups > 0

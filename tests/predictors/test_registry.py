@@ -11,6 +11,7 @@ config-for-config, and the deprecated helpers in
 from __future__ import annotations
 
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -129,3 +130,34 @@ class TestDeprecatedShims:
             warnings.simplefilter("error")
             registry.make_predictor("llbp:lat0")
             registry.parse_key("bimodal")
+
+    @pytest.mark.parametrize("call", [
+        lambda runner: runner.resolve_predictor("gshare"),
+        lambda runner: runner._parse_llbp_key("lat0"),
+    ])
+    def test_shims_warn_exactly_once(self, call):
+        """Under the default filter a shim nags once per call site, not
+        per call — a hot loop through legacy code stays readable."""
+        from repro.experiments import runner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(5):
+                call(runner)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_shims_have_no_in_repo_callers(self):
+        """The deprecation sweep is done: nothing under src/ calls (or
+        re-exports) the shims any more — they exist only for external
+        users mid-migration."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        offenders = []
+        for path in src.rglob("*.py"):
+            if path.name == "runner.py" and path.parent.name == "experiments":
+                continue  # the shims' own definitions
+            text = path.read_text()
+            if "resolve_predictor(" in text or "_parse_llbp_key(" in text:
+                offenders.append(str(path.relative_to(src)))
+        assert offenders == []

@@ -128,12 +128,12 @@ def test_specialized_loops_match_reference(tiny_workload_trace, key):
     """The specialized measurement loops are an optimization only: every
     predictor family must produce a bit-identical SimulationResult to the
     generic reference loop, including per-PC counters and extra stats."""
-    from repro.experiments.runner import resolve_predictor
+    from repro.predictors.registry import make_predictor
 
-    fast = run_simulation(tiny_workload_trace, resolve_predictor(key),
+    fast = run_simulation(tiny_workload_trace, make_predictor(key),
                           collect_per_pc=True)
     slow = run_simulation_reference(tiny_workload_trace,
-                                    resolve_predictor(key),
+                                    make_predictor(key),
                                     collect_per_pc=True)
     assert fast == slow
 

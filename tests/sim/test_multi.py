@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.runner import resolve_predictor
+from repro.predictors.registry import make_predictor
 from repro.sim.engine import run_simulation
 from repro.sim.multi import (
     install_fold_sharing,
@@ -26,12 +26,12 @@ KEYS = ("gshare", "tsl64", "llbp")
 
 
 def _serial(trace, key):
-    return run_simulation(trace, resolve_predictor(key),
+    return run_simulation(trace, make_predictor(key),
                           collect_per_pc=True)
 
 
 def _batch(trace, keys):
-    return run_simulation_batch(trace, [resolve_predictor(k) for k in keys],
+    return run_simulation_batch(trace, [make_predictor(k) for k in keys],
                                 collect_per_pc=True)
 
 
@@ -70,8 +70,8 @@ class TestBitIdentical:
 
     def test_without_per_pc_collection(self, mixed_trace):
         (batched,) = run_simulation_batch(
-            mixed_trace, [resolve_predictor("gshare")])
-        serial = run_simulation(mixed_trace, resolve_predictor("gshare"))
+            mixed_trace, [make_predictor("gshare")])
+        serial = run_simulation(mixed_trace, make_predictor("gshare"))
         assert batched == serial
         assert batched.per_pc_executions == {}
 
@@ -81,7 +81,7 @@ class TestBatchContract:
         assert run_simulation_batch(mixed_trace, []) == []
 
     def test_duplicate_instances_rejected(self, mixed_trace):
-        predictor = resolve_predictor("gshare")
+        predictor = make_predictor("gshare")
         with pytest.raises(ValueError, match="distinct"):
             run_simulation_batch(mixed_trace, [predictor, predictor])
 
@@ -89,8 +89,8 @@ class TestBatchContract:
         """Two instances of the *same* configuration in one batch must
         behave like two serial runs — sharing covers stream-determined
         values only, never predictor tables."""
-        first, second = (resolve_predictor("tsl64"),
-                         resolve_predictor("tsl64"))
+        first, second = (make_predictor("tsl64"),
+                         make_predictor("tsl64"))
         batch = run_simulation_batch(tiny_workload_trace, [first, second],
                                      collect_per_pc=True)
         serial = _serial(tiny_workload_trace, "tsl64")
@@ -100,20 +100,20 @@ class TestBatchContract:
 
 class TestSharingInstallers:
     def test_fold_sharing_rewires_duplicate_geometry(self):
-        predictors = [resolve_predictor(k)
+        predictors = [make_predictor(k)
                       for k in ("tsl64", "llbp", "gshare")]
         assert install_fold_sharing(predictors) > 0
 
     def test_fold_sharing_skips_non_stream_driven(self):
-        predictors = [resolve_predictor(k) for k in ("gshare", "bimodal")]
+        predictors = [make_predictor(k) for k in ("gshare", "bimodal")]
         assert install_fold_sharing(predictors) == 0
 
     def test_lookup_sharing_groups_identical_geometry(self):
-        predictors = [resolve_predictor(k) for k in ("tsl64", "llbp")]
+        predictors = [make_predictor(k) for k in ("tsl64", "llbp")]
         # llbp's internal 64K TSL has tsl64's TAGE geometry: one
         # follower match core gets rewired.
         assert install_lookup_sharing(predictors, [0]) == 1
 
     def test_lookup_sharing_no_group_of_one(self):
-        predictors = [resolve_predictor(k) for k in ("tsl64", "gshare")]
+        predictors = [make_predictor(k) for k in ("tsl64", "gshare")]
         assert install_lookup_sharing(predictors, [0]) == 0

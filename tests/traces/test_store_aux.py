@@ -11,6 +11,8 @@ miss.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -171,3 +173,38 @@ class TestAppendAux:
         bad = tmp_path / "bad.rpt"
         bad.write_bytes(b"NOPE" * 20)
         assert not append_aux(bad, _aux_arrays())
+
+
+def _hammer_aux(path, tag, rounds):
+    """Subprocess body: repeatedly merge a distinctly-named column."""
+    wrote = 0
+    for i in range(rounds):
+        column = np.full(16, i, dtype=np.uint32)
+        if append_aux(path, {f"cols/{tag}:{i % 4}": column}):
+            wrote += 1
+    return wrote
+
+
+class TestAppendAuxConcurrency:
+    def test_two_processes_never_corrupt_the_file(self, mixed_trace,
+                                                  tmp_path):
+        """Concurrent appenders are allowed to lose each other's
+        *columns* (the loser recomputes), but never to corrupt the
+        container: after the storm the file must still read back with
+        valid checksums and untouched base columns."""
+        path = tmp_path / "t.rpt"
+        write_packed(mixed_trace, path)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            counts = [f.result(timeout=120) for f in [
+                pool.submit(_hammer_aux, str(path), "a", 25),
+                pool.submit(_hammer_aux, str(path), "b", 25),
+            ]]
+        # Both processes made progress and none saw an unreadable file.
+        assert counts == [25, 25]
+        trace = read_packed(path, use_mmap=False)
+        assert np.array_equal(trace.pcs, mixed_trace.pcs)
+        assert np.array_equal(trace.takens, mixed_trace.takens)
+        # At least the last writer's column survived, intact.
+        assert any(key.startswith("cols/") for key in trace.aux)
+        for array in trace.aux.values():
+            assert array.dtype == np.uint32 and array.shape == (16,)
