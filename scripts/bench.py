@@ -27,6 +27,14 @@ otherwise).  This check is deterministic — no worker fleets are spawned
 by the gate itself; the live distributed paths run in the CI
 ``test-distributed`` leg.
 
+Both modes also gate the committed ``server_sweep`` section (see
+``harness.py --server-only``): the recorded daemon-served fig09 grid
+must be byte-identical to serial with a >=200-job burst on record, and
+a live in-process daemon must serve a warm burst with a p50 latency
+within 3x headroom of the committed ping-normalized ratio (the ping RTT
+is the null: framing + scheduling with no simulation, so machine speed
+cancels out).
+
 Both modes additionally gate the array engine (``repro.sim.array``):
 bit-identity to the Python engine is a hard failure in either mode; the
 full gate also checks the committed ``array_engine`` numbers hold the
@@ -146,7 +154,14 @@ def _gate_distributed(data: dict) -> int:
         return 1
 
     two = sweep.get("workers", {}).get("2", {})
-    if sweep.get("host_cpus", 0) >= 2:
+    # The recorded section says which number to trust (harness writes
+    # gate_basis at record time); sections from before that field fall
+    # back to the recording host's CPU count — measured whenever the
+    # host could actually run 2 workers on separate cores.
+    recorded_basis = sweep.get("gate_basis") or (
+        "measured" if sweep.get("host_cpus", 0) >= 2 and two
+        else "projected")
+    if recorded_basis == "measured":
         speedup, basis = two.get("speedup", 0.0), "measured"
         efficiency = two.get("efficiency", 0.0)
     else:
@@ -161,6 +176,85 @@ def _gate_distributed(data: dict) -> int:
         print(f"FAIL: distributed sweep below the "
               f"{DISTRIBUTED_SPEEDUP_FLOOR}x / "
               f"{DISTRIBUTED_EFFICIENCY_FLOOR} efficiency floor")
+        return 1
+    return 0
+
+
+#: Server gate configuration: the committed ``server_sweep`` section
+#: must show byte-identity and a burst at least this deep, and a live
+#: warm burst's p50 latency (normalized by the same run's ping-RTT p50
+#: so machine speed cancels out) must stay within the headroom of the
+#: committed ratio.  The headroom is loose because a warm serve is only
+#: a few times more work than a ping — small absolute jitter moves the
+#: ratio a lot on a shared box — and a miss gets one retry.
+SERVER_BURST_FLOOR = 200
+SERVER_LATENCY_HEADROOM = 3.0
+SERVER_SMOKE_JOBS = 60
+SERVER_SMOKE_KEYS = ("gshare", "bimodal")
+
+
+def _measure_server_ratio(instructions: int) -> float:
+    """Warm-cache served-latency p50 over ping p50 on a live daemon."""
+    from repro.server import ServerConfig, ServerThread
+    from repro.server.client import ServerClient
+    from repro.server.loadgen import build_jobs, measure_ping, run_load
+
+    with ServerThread(ServerConfig.from_env(port=0)) as running:
+        with ServerClient(running.address, tenant="bench") as client:
+            client.submit([("Kafka", key, instructions)
+                           for key in SERVER_SMOKE_KEYS])  # warm the cache
+        burst = build_jobs(["Kafka"], list(SERVER_SMOKE_KEYS),
+                           instructions, SERVER_SMOKE_JOBS)
+        summary = run_load(running.address, burst, mode="closed",
+                           clients=3, detail="digest", tenant="bench")
+        ping = measure_ping(running.address, count=30)
+    if summary["errors"] or summary["jobs"] != SERVER_SMOKE_JOBS:
+        raise RuntimeError(f"server burst lost jobs: {summary['jobs']} "
+                           f"served, {summary['errors']} errors")
+    return summary["latency_seconds"]["p50"] / max(ping["p50"], 1e-9)
+
+
+def _gate_server(data: dict, instructions: int) -> int:
+    """Gate the sweep daemon: the committed ``server_sweep`` section
+    must be byte-identical with a >=200-job burst and full percentiles
+    (deterministic checks on the recorded trajectory), and a live
+    in-process daemon must serve a warm burst with a p50/ping-p50 ratio
+    within ``SERVER_LATENCY_HEADROOM`` of the committed one.
+    """
+    sweep = data.get("server_sweep")
+    if not sweep:
+        print("no committed server_sweep section; run "
+              "benchmarks/perf/harness.py --server-only to record one")
+        return 1
+    if not sweep.get("byte_identical"):
+        print("FAIL: committed server sweep was not byte-identical to "
+              "serial")
+        return 1
+    if sweep.get("burst_jobs", 0) < SERVER_BURST_FLOOR:
+        print(f"FAIL: committed server burst of {sweep.get('burst_jobs')} "
+              f"jobs is below the {SERVER_BURST_FLOOR}-job floor")
+        return 1
+    latency = sweep.get("latency_seconds", {})
+    committed_ratio = sweep.get("latency_vs_ping_p50")
+    if not committed_ratio or not all(
+            latency.get(p) for p in ("p50", "p95", "p99")):
+        print("FAIL: committed server sweep is missing latency "
+              "percentiles or the ping-normalized ratio")
+        return 1
+
+    ratio = _measure_server_ratio(instructions)
+    bar = committed_ratio * SERVER_LATENCY_HEADROOM
+    if ratio > bar:
+        print(f"  server       ratio {ratio:.2f}x above bar, retrying")
+        ratio = min(ratio, _measure_server_ratio(instructions))
+    status = "ok" if ratio <= bar else "REGRESSED"
+    print(f"  server       p50 {ratio:.2f}x ping vs committed "
+          f"{committed_ratio:.2f}x (bar {bar:.2f}x)  "
+          f"byte-identical  {status}")
+    if status != "ok":
+        print("FAIL: warm server latency regressed beyond the "
+              f"{SERVER_LATENCY_HEADROOM:.0f}x headroom over the "
+              "committed ping-normalized ratio")
         return 1
     return 0
 
@@ -319,6 +413,8 @@ def _smoke(args, baseline: dict) -> int:
         return 1
     if _gate_distributed(args.data):
         return 1
+    if _gate_server(args.data, SMOKE_INSTRUCTIONS):
+        return 1
     print("PASS: no key regressed beyond threshold (relative gate)")
     return 0
 
@@ -404,6 +500,8 @@ def main(argv=None):
     if _gate_array(trace, data, args.threshold):
         return 1
     if _gate_distributed(data):
+        return 1
+    if _gate_server(data, SMOKE_INSTRUCTIONS):
         return 1
     print("PASS: no key regressed beyond threshold")
     return 0

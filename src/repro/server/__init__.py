@@ -1,0 +1,23 @@
+"""Prediction-as-a-service: a persistent sweep server.
+
+``python -m repro.server`` boots a daemon that keeps traces, caches and
+the executor warm between requests and serves simulation sweeps over a
+unix socket and/or localhost TCP with multi-tenant admission control;
+``python -m repro.server.loadgen`` is the matching load-generator /
+admin client.  See :mod:`repro.server.daemon` for the architecture and
+:mod:`repro.server.protocol` for the wire format.
+"""
+
+from repro.server.daemon import (ServerConfig, ServerThread, SweepServer,
+                                 free_port)
+from repro.server.protocol import SERVER_PROTOCOL_VERSION
+from repro.server.queue import SweepQueue
+
+__all__ = [
+    "SERVER_PROTOCOL_VERSION",
+    "ServerConfig",
+    "ServerThread",
+    "SweepServer",
+    "SweepQueue",
+    "free_port",
+]

@@ -1,0 +1,60 @@
+"""CLI entry point: ``python -m repro.server`` boots the daemon."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional
+
+from repro import telemetry
+from repro.server.daemon import ServerConfig, SweepServer
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Persistent sweep server with admission control. "
+                    "Defaults come from REPRO_SERVER_* (see docs/API.md).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port; 0 picks a free one (printed at "
+                             "boot), negative disables TCP")
+    parser.add_argument("--unix", default=None, metavar="PATH",
+                        help="also listen on a unix socket at PATH")
+    parser.add_argument("--resume", action="store_true",
+                        help="reload the completion journal and re-enqueue "
+                             "admitted-but-unfinished jobs from a previous "
+                             "server life")
+    parser.add_argument("--warm", default=None, metavar="W1,W2",
+                        help="pre-generate these workloads' traces at boot")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="executor worker budget (default REPRO_JOBS / "
+                             "CPU count)")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write telemetry JSONL events under DIR")
+    args = parser.parse_args(argv)
+
+    if args.telemetry:
+        telemetry.configure(args.telemetry)
+    overrides = {"host": args.host,
+                 "port": None if args.port < 0 else args.port,
+                 "unix_path": args.unix, "resume": args.resume}
+    if args.warm:
+        overrides["warm"] = tuple(
+            name.strip() for name in args.warm.split(",") if name.strip())
+    if args.workers is not None:
+        overrides["workers"] = max(1, args.workers)
+    config = ServerConfig.from_env(**overrides)
+    if config.port is None and config.unix_path is None:
+        parser.error("nothing to listen on: give --port >= 0 or --unix")
+    try:
+        asyncio.run(SweepServer(config).serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

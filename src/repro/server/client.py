@@ -1,0 +1,246 @@
+"""Blocking client for the sweep server.
+
+One :class:`ServerClient` is one connection: a hello/welcome handshake
+at connect, then synchronous request/response exchanges using the same
+framing helpers the TCP work-queue uses
+(:mod:`repro.parallel.backend.tcp`).  Addresses are either
+``host:port`` strings or filesystem paths (unix sockets).
+
+The client is deliberately simple — one outstanding request at a time —
+because the *load generator* gets its concurrency from many clients,
+which is also how real tenants look to the server.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.backend.tcp import recv_json, send_json
+from repro.server import protocol
+
+
+def connect_address(address: str,
+                    timeout: Optional[float] = None) -> socket.socket:
+    """Open a socket to ``address`` (``host:port`` or a unix path)."""
+    if ":" in address:
+        host, _, port = address.rpartition(":")
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        return sock
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(address)
+    return sock
+
+
+@dataclass
+class JobResult:
+    """One streamed ``result`` frame, decoded."""
+
+    workload: str
+    key: str
+    instructions: int
+    source: str
+    digest: str
+    seconds: float
+    payload: Optional[dict] = None
+
+
+@dataclass
+class SubmitOutcome:
+    """What one ``submit`` produced: acceptance or a rejection envelope,
+    plus the streamed results when accepted and waited for."""
+
+    accepted: bool
+    queued: int = 0
+    cached: int = 0
+    rejection: Optional[dict] = None
+    results: List[JobResult] = field(default_factory=list)
+    errors: List[dict] = field(default_factory=list)
+
+    @property
+    def retry_after(self) -> float:
+        if self.rejection is None:
+            return 0.0
+        return float(self.rejection.get("retry_after") or 0.0)
+
+
+class ServerClient:
+    """Synchronous sweep-server connection (see module docstring)."""
+
+    def __init__(self, address: str, tenant: str = "cli",
+                 timeout: Optional[float] = 120.0) -> None:
+        self.address = address
+        self.tenant = tenant
+        self._ids = itertools.count(1)
+        self._sock = connect_address(address, timeout=timeout)
+        send_json(self._sock, {"t": "hello",
+                               "version": protocol.SERVER_PROTOCOL_VERSION,
+                               "tenant": tenant})
+        welcome = recv_json(self._sock)
+        if welcome.get("t") != "welcome":
+            self._sock.close()
+            raise ConnectionError(f"bad welcome: {welcome!r}")
+        self.server_pid = welcome.get("pid")
+        self.draining = bool(welcome.get("draining"))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ---------------------------------------------------
+
+    def ping(self) -> float:
+        """Round-trip one ping; returns the RTT in seconds."""
+        ident = next(self._ids)
+        start = time.perf_counter()
+        send_json(self._sock, {"t": "ping", "id": ident})
+        reply = recv_json(self._sock)
+        if reply.get("t") != "pong" or reply.get("id") != ident:
+            raise ConnectionError(f"bad pong: {reply!r}")
+        return time.perf_counter() - start
+
+    def stats(self) -> dict:
+        send_json(self._sock, {"t": "stats"})
+        reply = recv_json(self._sock)
+        if reply.get("t") != "stats":
+            raise ConnectionError(f"bad stats reply: {reply!r}")
+        return reply
+
+    def drain(self) -> dict:
+        send_json(self._sock, {"t": "drain"})
+        reply = recv_json(self._sock)
+        if reply.get("t") != "draining":
+            raise ConnectionError(f"bad drain reply: {reply!r}")
+        return reply
+
+    def subscribe(self) -> None:
+        """Opt this connection into the live telemetry event stream."""
+        send_json(self._sock, {"t": "subscribe"})
+        reply = recv_json(self._sock)
+        if reply.get("t") != "subscribed":
+            raise ConnectionError(f"bad subscribe reply: {reply!r}")
+
+    def next_event(self) -> dict:
+        """Next streamed telemetry event (after :meth:`subscribe`)."""
+        while True:
+            reply = recv_json(self._sock)
+            if reply.get("t") == "event":
+                return reply.get("event") or {}
+
+    def submit(self, jobs: Sequence[Tuple[str, str, int]], priority: int = 0,
+               detail: str = "full", wait: bool = True) -> SubmitOutcome:
+        """Submit ``(workload, key, instructions)`` jobs.
+
+        With ``wait`` (default) the call blocks until every unique
+        job's ``result`` / ``job-error`` frame has streamed back.
+        """
+        ident = next(self._ids)
+        unique = list(dict.fromkeys(tuple(job) for job in jobs))
+        send_json(self._sock, {
+            "t": "submit", "id": ident, "priority": priority,
+            "detail": detail,
+            "jobs": [{"workload": w, "key": k, "instructions": i}
+                     for w, k, i in unique]})
+        reply = self._next_for(ident)
+        if reply.get("t") == "rejected":
+            return SubmitOutcome(accepted=False, rejection=reply,
+                                 queued=int(reply.get("queued") or 0))
+        if reply.get("t") == "error":
+            raise ConnectionError(f"submit error: {reply.get('error')!r}")
+        if reply.get("t") != "accepted":
+            raise ConnectionError(f"bad submit reply: {reply!r}")
+        outcome = SubmitOutcome(accepted=True,
+                                queued=int(reply.get("queued") or 0),
+                                cached=int(reply.get("cached") or 0))
+        if not wait:
+            return outcome
+        remaining = len(unique)
+        while remaining:
+            frame = self._next_for(ident)
+            kind = frame.get("t")
+            if kind == "result":
+                outcome.results.append(JobResult(
+                    workload=frame["workload"], key=frame["key"],
+                    instructions=frame["instructions"],
+                    source=frame.get("source", "?"),
+                    digest=frame.get("digest", ""),
+                    seconds=float(frame.get("seconds") or 0.0),
+                    payload=frame.get("result")))
+                remaining -= 1
+            elif kind == "job-error":
+                outcome.errors.append(frame)
+                remaining -= 1
+            else:
+                raise ConnectionError(f"unexpected frame {kind!r}")
+        return outcome
+
+    def collect(self, count: int) -> List[dict]:
+        """Read ``count`` result/job-error frames from earlier
+        ``wait=False`` submissions, skipping interleaved events."""
+        frames: List[dict] = []
+        while len(frames) < count:
+            reply = recv_json(self._sock)
+            if reply.get("t") in ("result", "job-error"):
+                frames.append(reply)
+        return frames
+
+    def _next_for(self, ident: int) -> dict:
+        """Next frame for request ``ident``, skipping stream events."""
+        while True:
+            reply = recv_json(self._sock)
+            if reply.get("t") == "event":
+                continue
+            if reply.get("id") not in (None, ident):
+                continue  # stale frame from an abandoned request
+            return reply
+
+
+def wait_ready(address: str, timeout: float = 60.0,
+               tenant: str = "probe") -> bool:
+    """Poll ``address`` until a ping succeeds (daemon boot barrier)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServerClient(address, tenant=tenant, timeout=5.0) as client:
+                client.ping()
+                return True
+        except (OSError, ConnectionError, ValueError):
+            time.sleep(0.1)
+    return False
+
+
+def result_digests(results: Sequence[JobResult],
+                   verify: bool = True) -> Dict[str, str]:
+    """``"workload|key|instructions" -> digest`` for served results.
+
+    With ``verify`` (and full payloads) the digest is *recomputed
+    client-side* from the streamed result body, so a byte-identity diff
+    against a serial run does not have to trust the server's word.
+    """
+    from repro.experiments import runner
+    from repro.experiments.journal import result_digest
+
+    digests: Dict[str, str] = {}
+    for item in results:
+        label = f"{item.workload}|{item.key}|{item.instructions}"
+        if verify and item.payload is not None:
+            digests[label] = result_digest(runner._from_json(item.payload))
+        else:
+            digests[label] = item.digest
+    return digests

@@ -1,0 +1,844 @@
+"""The sweep server: a persistent prediction-as-a-service daemon.
+
+One :class:`SweepServer` is an asyncio event loop accepting framed-JSON
+connections (:mod:`repro.server.protocol`) on a unix socket and/or a
+localhost TCP port.  It keeps the process warm between requests — the
+packed trace store's mmap'd traces, the runner's in-memory result
+cache, a running executor — so answering a repeat sweep costs a cache
+lookup, not a process spin-up.
+
+Request lifecycle::
+
+    submit -> admission control -> SweepQueue -> dispatcher batch
+           -> parallel.run_jobs(on_result=...) -> streamed result frames
+
+*Admission control* happens before anything is queued: a job whose
+result is already cached (and digest-verified against the completion
+journal) is served immediately without occupying queue space; otherwise
+the submission is rejected with a 429-style envelope when the tenant's
+outstanding jobs would exceed ``REPRO_SERVER_TENANT_CAP`` or the queue
+would exceed ``REPRO_SERVER_QUEUE`` (backpressure — clients honour the
+``retry_after`` hint), or with 503 while draining.  Identical jobs from
+different clients are coalesced: one computation, every waiter gets the
+result.
+
+*Dispatch* pops fairness-ordered batches (:class:`SweepQueue`) and runs
+them through the existing executor (:func:`repro.parallel.run_jobs`) in
+a worker thread, with the ``on_result`` hook streaming each job's
+result frame the moment it settles — a slow job does not delay its
+batch-mates' replies.  Completions are recorded in a
+:class:`~repro.experiments.journal.RunJournal` exactly like a CLI run.
+
+*Drain and resume*: SIGTERM (or a ``drain`` message) stops admission
+(503), finishes every queued job, rewrites the pending journal and
+exits cleanly.  Every *admitted* job is appended to
+``server-pending.jsonl`` before it runs, so a crash loses no accepted
+work: ``--resume`` re-enqueues pending jobs the completion journal does
+not cover (tenant ``"recovered"``), while journalled jobs are re-served
+from the digest-verified result cache without recomputation.
+
+*Telemetry*: every ``server.*`` event goes to the normal
+``REPRO_TELEMETRY`` sink, and any client may ``subscribe`` to the live
+in-process event stream (:func:`repro.telemetry.add_listener`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import parallel, telemetry
+from repro.experiments import journal as journal_mod
+from repro.experiments import runner
+from repro.parallel.executor import SimJob
+from repro.server import protocol
+from repro.server.queue import SweepQueue
+
+#: Tenant that re-enqueued crash-recovery jobs are billed to.
+RECOVERED_TENANT = "recovered"
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    """Parse an integer ``REPRO_SERVER_*`` knob; malformed values warn
+    and fall back, like every other ``REPRO_*`` variable."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+        if value < minimum:
+            raise ValueError(raw)
+    except ValueError:
+        warnings.warn(f"{name}={raw!r} is not an integer >= {minimum}; "
+                      f"using {default}", RuntimeWarning, stacklevel=3)
+        return default
+    return value
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+        if value <= 0:
+            raise ValueError(raw)
+    except ValueError:
+        warnings.warn(f"{name}={raw!r} is not a positive number; "
+                      f"using {default}", RuntimeWarning, stacklevel=3)
+        return default
+    return value
+
+
+@dataclass
+class ServerConfig:
+    """Everything a :class:`SweepServer` needs, resolved once at boot."""
+
+    host: str = "127.0.0.1"
+    port: Optional[int] = 0          # None: no TCP listener
+    unix_path: Optional[str] = None  # None: no unix listener
+    tenant_cap: int = 64
+    max_queue: int = 256
+    batch_size: int = 8
+    workers: Optional[int] = None    # None: parallel.default_jobs()
+    starvation_bound: int = 8
+    retry_after: float = 0.5
+    resume: bool = False
+    warm: Tuple[str, ...] = ()       # workloads to pre-generate at boot
+    warm_instructions: Optional[int] = None
+    #: Test hook: boot with the dispatcher parked so admission control
+    #: can be exercised deterministically; released by
+    #: :meth:`SweepServer.release_dispatch_threadsafe` or a drain.
+    hold_dispatch: bool = False
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServerConfig":
+        config = cls(
+            tenant_cap=_env_int("REPRO_SERVER_TENANT_CAP", cls.tenant_cap),
+            max_queue=_env_int("REPRO_SERVER_QUEUE", cls.max_queue),
+            batch_size=_env_int("REPRO_SERVER_BATCH", cls.batch_size),
+            starvation_bound=_env_int("REPRO_SERVER_STARVATION",
+                                      cls.starvation_bound),
+            retry_after=_env_float("REPRO_SERVER_RETRY_AFTER",
+                                   cls.retry_after))
+        raw = os.environ.get("REPRO_SERVER_WORKERS", "").strip()
+        if raw:
+            config.workers = _env_int("REPRO_SERVER_WORKERS", 1)
+        warm = os.environ.get("REPRO_SERVER_WARM", "").strip()
+        if warm:
+            config.warm = tuple(
+                name.strip() for name in warm.split(",") if name.strip())
+        for name, value in overrides.items():
+            setattr(config, name, value)
+        return config
+
+
+@dataclass
+class _Waiter:
+    """One client's claim on one job's outcome."""
+
+    conn: "_Conn"
+    request_id: object
+    tenant: str
+    detail: str
+    since: float
+
+
+@dataclass
+class _PendingJob:
+    """A job admitted but not yet settled (queued or in flight)."""
+
+    job: SimJob
+    priority: int
+    waiters: List[_Waiter] = field(default_factory=list)
+    inflight: bool = False
+
+
+class _Conn:
+    """Per-connection state; writes go through the server so a dead
+    peer is detected once and skipped thereafter."""
+
+    __slots__ = ("reader", "writer", "tenant", "peer", "subscribed",
+                 "closed")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, tenant: str,
+                 peer: str) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.tenant = tenant
+        self.peer = peer
+        self.subscribed = False
+        self.closed = False
+
+
+class SweepServer:
+    """Asyncio daemon serving simulation sweeps (see module docstring).
+
+    Construct, then either ``asyncio.run(server.serve())`` (the
+    ``python -m repro.server`` path) or use :class:`ServerThread` to
+    embed it in tests and benchmarks.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig.from_env()
+        self.queue = SweepQueue(self.config.starvation_bound)
+        self.port: Optional[int] = None  # bound TCP port, once listening
+        self._pending: Dict[SimJob, _PendingJob] = {}
+        self._outstanding: Dict[str, int] = {}
+        self._conns: Set[_Conn] = set()
+        self._counts = {"requests": 0, "accepted": 0, "cached": 0,
+                        "computed": 0, "errors": 0}
+        self._rejects: Dict[str, int] = {}
+        self._hold = bool(self.config.hold_dispatch)
+        self._draining = False
+        self._started = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._exec = ThreadPoolExecutor(max_workers=1,
+                                        thread_name_prefix="sweep-dispatch")
+        cache_dir = journal_mod.default_path().parent
+        self.journal_path = cache_dir / "server-journal.jsonl"
+        self.pending_path = cache_dir / "server-pending.jsonl"
+        self.journal: Optional[journal_mod.RunJournal] = None
+        self._pending_fh = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def serve(self, ready: Optional[threading.Event] = None) -> None:
+        """Run until drained; the caller owns the event loop."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._started = time.time()
+        self.journal = journal_mod.RunJournal.open(
+            self.journal_path, resume=self.config.resume)
+        recovered = self._recover_pending() if self.config.resume else 0
+        if not self.config.resume:
+            self._truncate_pending()
+        self._warm()
+
+        if self.config.unix_path is not None:
+            path = Path(self.config.unix_path)
+            with contextlib.suppress(OSError):
+                path.unlink()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_client, path=str(path)))
+        if self.config.port is not None:
+            server = await asyncio.start_server(
+                self._handle_client, self.config.host, self.config.port)
+            self.port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        if not self._servers:
+            raise ValueError("server needs a TCP port or a unix path")
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError,
+                                     ValueError):
+                self._loop.add_signal_handler(sig, self.request_drain)
+
+        telemetry.emit("server.start", port=self.port,
+                       unix=self.config.unix_path, pid=os.getpid(),
+                       resume=bool(self.config.resume), recovered=recovered,
+                       journalled=len(self.journal))
+        self._announce()
+        if ready is not None:
+            ready.set()
+        try:
+            await self._dispatch_loop()
+        finally:
+            await self._shutdown()
+
+    def request_drain(self) -> None:
+        """Stop admitting, finish queued work, then exit ``serve()``.
+
+        Callable from the loop thread (signal handlers, the ``drain``
+        message); cross-thread callers go through
+        :meth:`request_drain_threadsafe`.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._hold = False  # a drain always finishes admitted work
+        telemetry.emit("server.drain", queued=len(self.queue),
+                       inflight=self._inflight_count())
+        if self._wake is not None:
+            self._wake.set()
+
+    def request_drain_threadsafe(self) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.request_drain)
+
+    def release_dispatch_threadsafe(self) -> None:
+        """Un-park a ``hold_dispatch`` server (test hook)."""
+        def release() -> None:
+            self._hold = False
+            if self._wake is not None:
+                self._wake.set()
+
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(release)
+
+    async def _shutdown(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        self._rewrite_pending()
+        if self.journal is not None:
+            self.journal.close()
+        if self._pending_fh is not None:
+            with contextlib.suppress(OSError):
+                self._pending_fh.close()
+            self._pending_fh = None
+        if self.config.unix_path is not None:
+            with contextlib.suppress(OSError):
+                Path(self.config.unix_path).unlink()
+        self._exec.shutdown(wait=True)
+        parallel.shutdown()
+        telemetry.emit("server.stop", uptime=time.time() - self._started,
+                       **self._counts)
+
+    def _announce(self) -> None:
+        where = []
+        if self.port is not None:
+            where.append(f"{self.config.host}:{self.port}")
+        if self.config.unix_path is not None:
+            where.append(self.config.unix_path)
+        print(f"repro.server: listening on {' and '.join(where)}",
+              flush=True)
+
+    def _warm(self) -> None:
+        """Pre-generate (and therefore mmap from the packed store) the
+        configured workloads so first requests skip trace generation."""
+        if not self.config.warm:
+            return
+        from repro.experiments.common import experiment_instructions
+        from repro.workloads import catalog
+
+        instructions = (self.config.warm_instructions
+                        or experiment_instructions())
+        start = time.perf_counter()
+        for name in self.config.warm:
+            try:
+                catalog.generate_workload(name, instructions)
+            except Exception as error:
+                warnings.warn(f"cannot warm workload {name!r}: {error}",
+                              RuntimeWarning, stacklevel=2)
+        telemetry.emit("server.warm", workloads=list(self.config.warm),
+                       instructions=instructions,
+                       seconds=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Pending journal (crash-safe record of admitted jobs)
+    # ------------------------------------------------------------------
+
+    def _record_pending(self, job: SimJob, tenant: str,
+                        priority: int) -> None:
+        try:
+            if self._pending_fh is None:
+                self.pending_path.parent.mkdir(parents=True, exist_ok=True)
+                self._pending_fh = open(self.pending_path, "a")
+            json.dump({"workload": job.workload, "key": job.key,
+                       "instructions": job.instructions, "tenant": tenant,
+                       "priority": priority}, self._pending_fh,
+                      separators=(",", ":"))
+            self._pending_fh.write("\n")
+            self._pending_fh.flush()
+        except OSError as error:
+            warnings.warn(f"pending journal write failed: {error}",
+                          RuntimeWarning, stacklevel=2)
+
+    def _truncate_pending(self) -> None:
+        with contextlib.suppress(OSError):
+            if self.pending_path.exists():
+                self.pending_path.unlink()
+
+    def _rewrite_pending(self) -> None:
+        """At exit, keep only jobs that never settled (normally none)."""
+        if self._pending_fh is not None:
+            with contextlib.suppress(OSError):
+                self._pending_fh.close()
+            self._pending_fh = None
+        leftover = list(self._pending.values())
+        self._truncate_pending()
+        for pending in leftover:
+            self._record_pending(pending.job, RECOVERED_TENANT,
+                                 pending.priority)
+
+    def _recover_pending(self) -> int:
+        """Re-enqueue admitted-but-unfinished jobs from a previous life.
+
+        Jobs the completion journal covers need nothing: their results
+        are in the digest-verified cache and will be served as hot hits.
+        """
+        try:
+            text = self.pending_path.read_text()
+        except OSError:
+            return 0
+        recovered = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                job = SimJob(str(record["workload"]), str(record["key"]),
+                             int(record["instructions"]))
+                priority = int(record.get("priority", 0))
+            except (KeyError, TypeError, ValueError):
+                continue  # torn write mid-crash
+            if (job.workload, job.key, job.instructions) in self.journal:
+                continue
+            if job in self._pending:
+                continue
+            self._pending[job] = _PendingJob(job, priority)
+            self.queue.push(job, RECOVERED_TENANT, priority)
+            recovered += 1
+        self._truncate_pending()
+        for pending in self._pending.values():
+            self._record_pending(pending.job, RECOVERED_TENANT,
+                                 pending.priority)
+        if recovered:
+            telemetry.emit("server.resume", requeued=recovered,
+                           journalled=len(self.journal))
+        if self._wake is not None and recovered:
+            self._wake.set()
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _inflight_count(self) -> int:
+        return sum(1 for p in self._pending.values() if p.inflight)
+
+    async def _dispatch_loop(self) -> None:
+        assert self._loop is not None and self._wake is not None
+        workers = self.config.workers or parallel.default_jobs()
+        while True:
+            if not self.queue:
+                if self._draining and not self._pending:
+                    return
+                if self._draining and not self._inflight_count():
+                    # Only never-settling waiters remain (shouldn't
+                    # happen, but never hang a drain on them).
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if self._hold:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            batch = self.queue.pop_batch(self.config.batch_size)
+            jobs = []
+            for job, _tenant, _priority in batch:
+                pending = self._pending.get(job)
+                if pending is None:
+                    continue  # settled while queued (shouldn't happen)
+                pending.inflight = True
+                jobs.append(job)
+            if not jobs:
+                continue
+            telemetry.emit("server.dispatch", jobs=len(jobs),
+                           depth=len(self.queue), workers=workers)
+            loop = self._loop
+
+            def stream(job: SimJob, result, source: str) -> None:
+                loop.call_soon_threadsafe(self._settle_job, job, result,
+                                          source)
+
+            try:
+                await loop.run_in_executor(
+                    self._exec,
+                    lambda: parallel.run_jobs(
+                        jobs, max_workers=workers, journal=self.journal,
+                        on_result=stream))
+            except Exception as error:
+                for job in jobs:
+                    self._fail_job(job, error)
+
+    def _settle_job(self, job: SimJob, result, source: str) -> None:
+        pending = self._pending.pop(job, None)
+        if pending is None:
+            return
+        digest = journal_mod.result_digest(result)
+        payload = runner._to_json(result)
+        now = time.monotonic()
+        for waiter in pending.waiters:
+            self._release(waiter.tenant)
+            latency = now - waiter.since
+            message = {"t": "result", "id": waiter.request_id,
+                       "workload": job.workload, "key": job.key,
+                       "instructions": job.instructions, "source": source,
+                       "digest": digest, "seconds": round(latency, 6)}
+            if waiter.detail == "full":
+                message["result"] = payload
+            self._send(waiter.conn, message)
+            telemetry.emit("server.result", workload=job.workload,
+                           key=job.key, instructions=job.instructions,
+                           tenant=waiter.tenant, source=source,
+                           seconds=latency)
+        if not pending.waiters:
+            # Recovered job with no client attached: still journalled
+            # and cached; emit so the resume is observable.
+            telemetry.emit("server.result", workload=job.workload,
+                           key=job.key, instructions=job.instructions,
+                           tenant=RECOVERED_TENANT, source=source,
+                           seconds=0.0)
+        if source == "computed":
+            self._counts["computed"] += 1
+        else:
+            self._counts["cached"] += 1
+        if self._wake is not None:
+            self._wake.set()
+
+    def _fail_job(self, job: SimJob, error: BaseException) -> None:
+        pending = self._pending.pop(job, None)
+        if pending is None:
+            return
+        self._counts["errors"] += 1
+        telemetry.emit("server.job_error", workload=job.workload,
+                       key=job.key, instructions=job.instructions,
+                       error=type(error).__name__)
+        for waiter in pending.waiters:
+            self._release(waiter.tenant)
+            self._send(waiter.conn, {
+                "t": "job-error", "id": waiter.request_id,
+                "workload": job.workload, "key": job.key,
+                "instructions": job.instructions, "error": str(error)})
+        if self._wake is not None:
+            self._wake.set()
+
+    def _release(self, tenant: str) -> None:
+        count = self._outstanding.get(tenant, 0) - 1
+        if count > 0:
+            self._outstanding[tenant] = count
+        else:
+            self._outstanding.pop(tenant, None)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def _send(self, conn: _Conn, message: dict) -> bool:
+        if conn.closed:
+            return False
+        try:
+            conn.writer.write(protocol.encode_json(message))
+        except (ConnectionError, OSError):
+            conn.closed = True
+            return False
+        return True
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn in self._conns:
+            self._conns.discard(conn)
+            telemetry.emit("server.client_leave", tenant=conn.tenant,
+                           peer=conn.peer)
+        conn.closed = True
+        conn.subscribed = False
+        with contextlib.suppress(Exception):
+            conn.writer.close()
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = (f"{peername[0]}:{peername[1]}"
+                if isinstance(peername, tuple) else "unix")
+        conn: Optional[_Conn] = None
+        try:
+            hello = await asyncio.wait_for(protocol.read_json(reader),
+                                           timeout=10.0)
+            if (hello.get("t") != "hello"
+                    or hello.get("version")
+                    != protocol.SERVER_PROTOCOL_VERSION):
+                writer.write(protocol.encode_json(
+                    {"t": "error", "error": "bad hello",
+                     "version": protocol.SERVER_PROTOCOL_VERSION}))
+                await writer.drain()
+                return
+            tenant = str(hello.get("tenant") or "anonymous")
+            conn = _Conn(reader, writer, tenant, peer)
+            self._conns.add(conn)
+            telemetry.emit("server.client_join", tenant=tenant, peer=peer)
+            self._send(conn, {"t": "welcome",
+                              "version": protocol.SERVER_PROTOCOL_VERSION,
+                              "pid": os.getpid(),
+                              "draining": self._draining})
+            await writer.drain()
+            while True:
+                message = await protocol.read_json(reader)
+                self._counts["requests"] += 1
+                kind = message.get("t")
+                if kind == "submit":
+                    self._handle_submit(conn, message)
+                elif kind == "ping":
+                    self._send(conn, {"t": "pong",
+                                      "id": message.get("id")})
+                elif kind == "stats":
+                    self._send(conn, self._stats_message())
+                elif kind == "subscribe":
+                    self._subscribe(conn)
+                elif kind == "drain":
+                    self._send(conn, {"t": "draining",
+                                      "queued": len(self.queue)})
+                    self.request_drain()
+                else:
+                    self._send(conn, {"t": "error",
+                                      "error": f"unknown message {kind!r}"})
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        except asyncio.CancelledError:
+            # Server teardown cancels handler tasks parked on a read;
+            # completing normally keeps the stream protocol's done
+            # callback from re-raising the cancellation into the loop's
+            # exception handler (noisy, harmless otherwise).
+            pass
+        finally:
+            if conn is not None:
+                self._close_conn(conn)
+            else:
+                with contextlib.suppress(Exception):
+                    writer.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def _reject(self, conn: _Conn, request_id, code: int, reason: str,
+                limit: int) -> None:
+        self._rejects[reason] = self._rejects.get(reason, 0) + 1
+        telemetry.emit("server.reject", tenant=conn.tenant, code=code,
+                       reason=reason, queued=len(self.queue))
+        self._send(conn, {"t": "rejected", "id": request_id, "code": code,
+                          "reason": reason, "limit": limit,
+                          "queued": len(self.queue),
+                          "retry_after": self.config.retry_after})
+
+    def _handle_submit(self, conn: _Conn, message: dict) -> None:
+        request_id = message.get("id")
+        raw_jobs = message.get("jobs")
+        detail = message.get("detail") or "full"
+        try:
+            priority = int(message.get("priority") or 0)
+        except (TypeError, ValueError):
+            priority = 0
+        jobs: List[SimJob] = []
+        try:
+            for entry in raw_jobs or ():
+                jobs.append(SimJob(str(entry["workload"]),
+                                   str(entry["key"]),
+                                   int(entry["instructions"])))
+        except (KeyError, TypeError, ValueError):
+            self._send(conn, {"t": "error", "id": request_id,
+                              "error": "malformed submit"})
+            return
+        if not jobs:
+            self._send(conn, {"t": "error", "id": request_id,
+                              "error": "empty submit"})
+            return
+        telemetry.emit("server.submit", tenant=conn.tenant,
+                       jobs=len(jobs), priority=priority)
+        if self._draining:
+            self._reject(conn, request_id, 503, protocol.REASON_DRAINING,
+                         limit=0)
+            return
+
+        # Partition into hot hits (served now, no queue space) and
+        # misses, then admission-check only the misses — a cached sweep
+        # must never be shed.
+        hot: List[Tuple[SimJob, object]] = []
+        misses: List[SimJob] = []
+        for job in dict.fromkeys(jobs):
+            cached = self._peek_verified(job)
+            if cached is not None:
+                hot.append((job, cached))
+            else:
+                misses.append(job)
+
+        new = [job for job in misses if job not in self._pending]
+        outstanding = self._outstanding.get(conn.tenant, 0)
+        if outstanding + len(misses) > self.config.tenant_cap:
+            self._reject(conn, request_id, 429, protocol.REASON_TENANT_CAP,
+                         limit=self.config.tenant_cap)
+            return
+        if len(self.queue) + len(new) > self.config.max_queue:
+            self._reject(conn, request_id, 429, protocol.REASON_QUEUE_FULL,
+                         limit=self.config.max_queue)
+            return
+
+        now = time.monotonic()
+        for job in misses:
+            pending = self._pending.get(job)
+            if pending is None:
+                pending = self._pending[job] = _PendingJob(job, priority)
+                self.queue.push(job, conn.tenant, priority)
+                self._record_pending(job, conn.tenant, priority)
+            pending.waiters.append(_Waiter(conn, request_id, conn.tenant,
+                                           detail, now))
+            self._outstanding[conn.tenant] = (
+                self._outstanding.get(conn.tenant, 0) + 1)
+        self._counts["accepted"] += len(misses)
+        self._send(conn, {"t": "accepted", "id": request_id,
+                          "jobs": len(jobs), "queued": len(self.queue),
+                          "cached": len(hot)})
+        for job, cached in hot:
+            self._counts["cached"] += 1
+            digest = journal_mod.result_digest(cached)
+            message_out = {"t": "result", "id": request_id,
+                           "workload": job.workload, "key": job.key,
+                           "instructions": job.instructions,
+                           "source": "cache", "digest": digest,
+                           "seconds": round(time.monotonic() - now, 6)}
+            if detail == "full":
+                message_out["result"] = runner._to_json(cached)
+            self._send(conn, message_out)
+            telemetry.emit("server.result", workload=job.workload,
+                           key=job.key, instructions=job.instructions,
+                           tenant=conn.tenant, source="cache",
+                           seconds=time.monotonic() - now)
+        if misses and self._wake is not None:
+            self._wake.set()
+
+    def _peek_verified(self, job: SimJob):
+        """A cached result, unless the journal proves it corrupt."""
+        cached = runner.peek_result(job.workload, job.key, job.instructions)
+        if cached is None or self.journal is None:
+            return cached
+        verdict = self.journal.matches(
+            (job.workload, job.key, job.instructions), cached)
+        if verdict is False:
+            telemetry.emit("server.cache_corrupt", workload=job.workload,
+                           key=job.key, instructions=job.instructions)
+            runner.drop_result(job.workload, job.key, job.instructions)
+            return None
+        return cached
+
+    def _stats_message(self) -> dict:
+        return {"t": "stats", "uptime": round(time.time() - self._started, 3),
+                "queued": len(self.queue),
+                "inflight": self._inflight_count(),
+                "draining": self._draining,
+                "clients": len(self._conns),
+                "served": {"cached": self._counts["cached"],
+                           "computed": self._counts["computed"]},
+                "errors": self._counts["errors"],
+                "requests": self._counts["requests"],
+                "accepted": self._counts["accepted"],
+                "rejected": dict(self._rejects),
+                "outstanding": dict(self._outstanding),
+                "queue_by_tenant": self.queue.depth_by_tenant(),
+                "journalled": len(self.journal or ())}
+
+    # ------------------------------------------------------------------
+    # Telemetry subscription
+    # ------------------------------------------------------------------
+
+    def _subscribe(self, conn: _Conn) -> None:
+        if not any(c.subscribed for c in self._conns):
+            telemetry.add_listener(self._on_event)
+        conn.subscribed = True
+        self._send(conn, {"t": "subscribed"})
+
+    def _on_event(self, record: dict) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(self._broadcast_event, record)
+
+    def _broadcast_event(self, record: dict) -> None:
+        subscribers = [c for c in self._conns if c.subscribed]
+        if not subscribers:
+            telemetry.remove_listener(self._on_event)
+            return
+        for conn in subscribers:
+            self._send(conn, {"t": "event", "event": record})
+
+
+class ServerThread:
+    """Run a :class:`SweepServer` on a background thread (tests, the
+    perf harness, the bench smoke gate).
+
+    Context manager: entering boots the daemon and waits for its
+    listeners; exiting requests a drain and joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 startup_timeout: float = 60.0) -> None:
+        self.server = SweepServer(config)
+        self.startup_timeout = startup_timeout
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> str:
+        if self.server.config.unix_path is not None:
+            return self.server.config.unix_path
+        return f"{self.server.config.host}:{self.server.port}"
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self.server.serve(ready=self._ready))
+        except BaseException as error:  # surfaced by __enter__/stop
+            self._error = error
+            self._ready.set()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="sweep-server", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(self.startup_timeout):
+            raise TimeoutError("sweep server did not start")
+        if self._error is not None:
+            raise RuntimeError("sweep server failed to start") \
+                from self._error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        self.server.request_drain_threadsafe()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                warnings.warn("sweep server thread did not stop",
+                              RuntimeWarning, stacklevel=2)
+            self._thread = None
+
+
+def _default_socket_dir() -> Path:
+    return journal_mod.default_path().parent
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (loadgen/test convenience)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]

@@ -1,0 +1,307 @@
+"""Load generator and admin CLI for the sweep server.
+
+``python -m repro.server.loadgen ADDRESS ...`` drives a running daemon:
+
+* **closed-loop** (default): ``--clients C`` threads, each submitting
+  its next job the moment the previous reply lands — the steady-state
+  "as fast as the server allows" regime.  ``--jobs N`` bounds the run.
+* **open-loop**: ``--rate R`` submissions per second from a fixed
+  schedule regardless of completions — the arrival-rate regime that
+  actually exposes queueing delay (closed-loop self-throttles).
+
+Both modes honour rejection envelopes: a 429/503 sleeps the rejected
+client for the server's ``retry_after`` hint and resubmits, counting
+the reject.  Latency is measured per job, submit-to-result, and
+reported as p50/p95/p99 via :func:`repro.common.stats.percentile`.
+
+Admin verbs: ``--wait`` (boot barrier), ``--ping``, ``--stats``,
+``--drain``.  ``--digests FILE`` writes served digests (recomputed
+client-side from full payloads) and ``--serial-digests FILE`` computes
+the same grid in-process without a server — CI diffs the two files to
+prove served results are byte-identical to a clean serial run.
+
+Importable API: :func:`run_load` returns the summary dict the CLI
+prints; the perf harness and bench smoke gate call it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.stats import percentile
+from repro.server.client import (ServerClient, result_digests, wait_ready)
+
+Job = Tuple[str, str, int]
+
+DEFAULT_WORKLOADS = ("Kafka",)
+DEFAULT_KEYS = ("tsl64", "llbp")
+
+
+def build_jobs(workloads: Sequence[str], keys: Sequence[str],
+               instructions: int, count: int) -> List[Job]:
+    """A ``count``-long job list cycling the workload x key grid."""
+    grid = [(w, k, instructions) for w in workloads for k in keys]
+    return [grid[i % len(grid)] for i in range(count)]
+
+
+class _Recorder:
+    """Thread-safe accumulator for per-job latencies and outcomes."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: List[float] = []
+        self.sources: Dict[str, int] = {}
+        self.rejects: Dict[str, int] = {}
+        self.errors = 0
+        self.results = []
+
+    def record(self, outcome) -> None:
+        with self.lock:
+            for item in outcome.results:
+                self.latencies.append(item.seconds)
+                self.sources[item.source] = (
+                    self.sources.get(item.source, 0) + 1)
+                self.results.append(item)
+            self.errors += len(outcome.errors)
+
+    def reject(self, reason: str) -> None:
+        with self.lock:
+            self.rejects[reason] = self.rejects.get(reason, 0) + 1
+
+
+def _submit_with_retry(client: ServerClient, job: Job, priority: int,
+                       detail: str, recorder: _Recorder,
+                       giveup: float = 120.0):
+    deadline = time.monotonic() + giveup
+    while True:
+        outcome = client.submit([job], priority=priority, detail=detail)
+        if outcome.accepted:
+            recorder.record(outcome)
+            return outcome
+        reason = (outcome.rejection or {}).get("reason", "?")
+        recorder.reject(reason)
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"job {job} rejected ({reason}) past "
+                               f"{giveup}s of retries")
+        time.sleep(max(0.05, outcome.retry_after))
+
+
+def run_load(address: str, jobs: Sequence[Job], mode: str = "closed",
+             clients: int = 4, rate: float = 20.0, priority: int = 0,
+             detail: str = "digest", tenant: str = "loadgen",
+             tenant_per_client: bool = False) -> dict:
+    """Drive the server with ``jobs`` and return the summary dict."""
+    recorder = _Recorder()
+    clients = max(1, min(clients, len(jobs)))
+    failures: List[BaseException] = []
+    start = time.perf_counter()
+
+    if mode == "closed":
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            name = (f"{tenant}-{index}" if tenant_per_client else tenant)
+            try:
+                with ServerClient(address, tenant=name) as client:
+                    while True:
+                        with cursor_lock:
+                            position = cursor["next"]
+                            if position >= len(jobs):
+                                return
+                            cursor["next"] = position + 1
+                        _submit_with_retry(client, jobs[position], priority,
+                                           detail, recorder)
+            except BaseException as error:
+                failures.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(clients)]
+    else:  # open loop: fixed arrival schedule, one thread per arrival slot
+        interval = 1.0 / max(rate, 0.001)
+
+        def worker(index: int) -> None:
+            name = (f"{tenant}-{index}" if tenant_per_client else tenant)
+            try:
+                with ServerClient(address, tenant=name) as client:
+                    # Each of the C lanes owns every C-th arrival slot.
+                    for position in range(index, len(jobs), clients):
+                        target = start + position * interval
+                        delay = target - time.perf_counter()
+                        if delay > 0:
+                            time.sleep(delay)
+                        _submit_with_retry(client, jobs[position], priority,
+                                           detail, recorder)
+            except BaseException as error:
+                failures.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(clients)]
+
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise RuntimeError(f"{len(failures)} loadgen client(s) failed: "
+                           f"{failures[0]!r}") from failures[0]
+
+    latencies = sorted(recorder.latencies)
+    summary = {
+        "mode": mode, "jobs": len(recorder.latencies),
+        "requested_jobs": len(jobs), "clients": clients,
+        "wall_seconds": round(wall, 6),
+        "throughput_jobs_per_sec": (round(len(recorder.latencies) / wall, 3)
+                                    if wall > 0 else 0.0),
+        "latency_seconds": {
+            "p50": percentile(latencies, 50.0) if latencies else 0.0,
+            "p95": percentile(latencies, 95.0) if latencies else 0.0,
+            "p99": percentile(latencies, 99.0) if latencies else 0.0,
+            "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "sources": dict(recorder.sources),
+        "rejects": dict(recorder.rejects),
+        "errors": recorder.errors,
+    }
+    if mode == "open":
+        summary["rate_per_sec"] = rate
+    summary["_results"] = recorder.results  # stripped before printing
+    return summary
+
+
+def measure_ping(address: str, count: int = 50,
+                 tenant: str = "loadgen-ping") -> dict:
+    """Ping RTT percentiles — the null against which serving latency is
+    normalized (machine-speed baseline, no simulation in the loop)."""
+    with ServerClient(address, tenant=tenant) as client:
+        rtts = sorted(client.ping() for _ in range(count))
+    return {"count": count, "p50": percentile(rtts, 50.0),
+            "p95": percentile(rtts, 95.0)}
+
+
+def serial_digests(jobs: Sequence[Job]) -> Dict[str, str]:
+    """Digests from computing ``jobs`` in-process (no server)."""
+    from repro.experiments import runner
+    from repro.experiments.journal import result_digest
+
+    digests: Dict[str, str] = {}
+    for workload, key, instructions in dict.fromkeys(jobs):
+        result = runner.get_result(workload, key, instructions)
+        digests[f"{workload}|{key}|{instructions}"] = result_digest(result)
+    return digests
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.loadgen",
+        description="Load generator / admin client for repro.server.")
+    parser.add_argument("address",
+                        help="server address: host:port or a unix path")
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=200,
+                        help="total jobs for the burst (default 200)")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="open-loop arrivals per second")
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS))
+    parser.add_argument("--keys", default=",".join(DEFAULT_KEYS))
+    parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--detail", choices=("digest", "full"),
+                        default="digest",
+                        help="result payload size (digest keeps the "
+                             "latency measurement lean)")
+    parser.add_argument("--tenant", default="loadgen")
+    parser.add_argument("--tenant-per-client", action="store_true",
+                        help="bill each client thread as its own tenant")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the summary dict to FILE")
+    parser.add_argument("--digests", default=None, metavar="FILE",
+                        help="write served result digests to FILE "
+                             "(forces --detail full; digests recomputed "
+                             "client-side)")
+    parser.add_argument("--serial-digests", default=None, metavar="FILE",
+                        help="no server: compute the same grid serially "
+                             "in-process and write its digests to FILE")
+    parser.add_argument("--wait", type=float, default=None, metavar="SEC",
+                        help="poll until the server answers a ping")
+    parser.add_argument("--ping", action="store_true",
+                        help="measure ping RTT percentiles and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print server stats JSON and exit")
+    parser.add_argument("--drain", action="store_true",
+                        help="ask the server to drain and exit")
+    args = parser.parse_args(argv)
+
+    if args.instructions is None:
+        from repro.experiments.common import experiment_instructions
+
+        args.instructions = experiment_instructions()
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    keys = [k.strip() for k in args.keys.split(",") if k.strip()]
+    jobs = build_jobs(workloads, keys, args.instructions, args.jobs)
+
+    if args.serial_digests:
+        digests = serial_digests(jobs)
+        with open(args.serial_digests, "w") as fh:
+            json.dump(digests, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(digests)} serial digests "
+              f"to {args.serial_digests}")
+        return 0
+
+    if args.wait is not None:
+        if not wait_ready(args.address, timeout=args.wait):
+            print(f"server at {args.address} not ready "
+                  f"after {args.wait}s", file=sys.stderr)
+            return 1
+        print(f"server at {args.address} is ready")
+        if not (args.ping or args.stats or args.drain):
+            return 0
+
+    if args.stats:
+        with ServerClient(args.address, tenant=args.tenant) as client:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.drain:
+        with ServerClient(args.address, tenant=args.tenant) as client:
+            print(json.dumps(client.drain()))
+        return 0
+    if args.ping:
+        print(json.dumps(measure_ping(args.address), indent=2))
+        return 0
+
+    detail = "full" if args.digests else args.detail
+    summary = run_load(args.address, jobs, mode=args.mode,
+                       clients=args.clients, rate=args.rate,
+                       priority=args.priority, detail=detail,
+                       tenant=args.tenant,
+                       tenant_per_client=args.tenant_per_client)
+    results = summary.pop("_results")
+    if args.digests:
+        digests = result_digests(results, verify=True)
+        with open(args.digests, "w") as fh:
+            json.dump(digests, fh, indent=2, sort_keys=True)
+        summary["digests_file"] = args.digests
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+    latency = summary["latency_seconds"]
+    print(f"{summary['jobs']} jobs in {summary['wall_seconds']:.2f}s "
+          f"({summary['throughput_jobs_per_sec']:.1f} jobs/s, "
+          f"{summary['clients']} clients, {args.mode} loop)")
+    print(f"latency p50/p95/p99: {latency['p50'] * 1e3:.2f} / "
+          f"{latency['p95'] * 1e3:.2f} / {latency['p99'] * 1e3:.2f} ms; "
+          f"sources {summary['sources']}; rejects {summary['rejects']}")
+    return 1 if summary["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

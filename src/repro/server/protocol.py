@@ -1,0 +1,94 @@
+"""Wire protocol for the sweep server: framed JSON messages.
+
+The server speaks exactly the frame format PR 7's TCP work-queue
+introduced (:mod:`repro.parallel.backend.tcp`): every frame is a 5-byte
+header — one kind byte, ``J`` (UTF-8 JSON object) or ``B`` (raw
+bytes), then a big-endian u32 payload length — followed by the payload.
+This module adds the asyncio read side (the daemon is an event loop,
+the backend is threads) and the server's message vocabulary; the sync
+client (:mod:`repro.server.client`) reuses the backend's blocking
+helpers directly.
+
+Message flow (all JSON frames; ``t`` is the message type)::
+
+    client -> {"t": "hello", "version", "tenant"}
+    server -> {"t": "welcome", "version", "pid", "draining"}
+
+    client -> {"t": "submit", "id", "priority", "detail",
+               "jobs": [{"workload", "key", "instructions"}, ...]}
+    server -> {"t": "accepted", "id", "jobs", "queued", "cached"}
+           |  {"t": "rejected", "id", "code", "reason", "limit",
+               "queued", "retry_after"}
+    server -> {"t": "result", "id", "workload", "key", "instructions",
+               "source", "digest", "seconds", ["result"]}   # per job
+           |  {"t": "job-error", "id", "workload", "key",
+               "instructions", "error"}
+
+    client -> {"t": "ping", "id"}      server -> {"t": "pong", "id"}
+    client -> {"t": "stats"}           server -> {"t": "stats", ...}
+    client -> {"t": "subscribe"}       server -> {"t": "subscribed"}
+                                       server -> {"t": "event", "event"}
+    client -> {"t": "drain"}           server -> {"t": "draining",
+                                                  "queued"}
+
+Rejections are the admission-control surface: ``code`` is 429 for load
+shedding (``reason`` ``"tenant-cap"`` or ``"queue-full"``) and 503 for
+a draining server; ``retry_after`` is the server's backoff hint in
+seconds.  ``detail`` on submit selects the result payload: ``"full"``
+(default) streams the runner's canonical JSON encoding, ``"digest"``
+elides the body and sends only the sha256 digest — what a latency-probe
+client wants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Tuple
+
+from repro.parallel.backend.tcp import (_FRAME, KIND_BIN, KIND_JSON,
+                                        MAX_FRAME)
+
+#: Version of the *server* message vocabulary (independent of the
+#: worker protocol, which happens to share the framing).
+SERVER_PROTOCOL_VERSION = 1
+
+#: Rejection reasons (the ``reason`` field of a ``rejected`` message).
+REASON_TENANT_CAP = "tenant-cap"
+REASON_QUEUE_FULL = "queue-full"
+REASON_DRAINING = "draining"
+
+
+def encode_frame(kind: bytes, payload: bytes) -> bytes:
+    """One wire frame as bytes (for ``StreamWriter.write``)."""
+    return _FRAME.pack(kind, len(payload)) + payload
+
+
+def encode_json(message: dict) -> bytes:
+    return encode_frame(
+        KIND_JSON, json.dumps(message, separators=(",", ":")).encode())
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[bytes, bytes]:
+    """Read one frame; raises :class:`ConnectionError` on EOF/corruption."""
+    try:
+        header = await reader.readexactly(_FRAME.size)
+        kind, length = _FRAME.unpack(header)
+        if kind not in (KIND_JSON, KIND_BIN) or length > MAX_FRAME:
+            raise ConnectionError(f"bad frame header ({kind!r}, {length})")
+        return kind, await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("connection closed mid-frame") from error
+
+
+async def read_json(reader: asyncio.StreamReader) -> dict:
+    kind, payload = await read_frame(reader)
+    if kind != KIND_JSON:
+        raise ConnectionError("expected a JSON frame")
+    try:
+        message = json.loads(payload.decode())
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ConnectionError(f"undecodable JSON frame: {error}") from None
+    if not isinstance(message, dict):
+        raise ConnectionError("JSON frame is not an object")
+    return message

@@ -1,0 +1,127 @@
+"""Multi-tenant priority queue for the sweep server.
+
+Pure data structure — no sockets, no clocks — so ordering policy is
+unit-testable in isolation.  Three rules, applied in order:
+
+1. **Priority**: a higher ``priority`` class is served first.
+2. **Tenant fairness**: within a class, tenants are served round-robin
+   (one item per turn), so a tenant that dumps 100 jobs cannot starve a
+   tenant that submitted one.
+3. **Starvation bound**: every ``starvation_bound``-th pop ignores both
+   rules and serves the globally oldest item.  A continuous stream of
+   high-priority work therefore delays a low-priority item by at most
+   ``starvation_bound - 1`` pops, giving every admitted job a hard
+   freshness guarantee instead of a probabilistic one.
+
+Within one (tenant, priority) lane, order is FIFO.  Admission control
+(caps, bounded depth) lives in the daemon — the queue orders what was
+admitted; it never rejects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+@dataclass
+class _Entry:
+    seq: int
+    item: Any
+    tenant: str
+    priority: int
+
+
+@dataclass
+class _Lane:
+    """One priority class: per-tenant FIFO lanes plus a rotation order."""
+
+    tenants: Dict[str, Deque[int]] = field(default_factory=dict)
+    rotation: Deque[str] = field(default_factory=deque)
+
+
+class SweepQueue:
+    """Priority + tenant-fair + starvation-bounded ordering (see module
+    docstring).  Not thread-safe: the daemon mutates it only from its
+    event loop."""
+
+    def __init__(self, starvation_bound: int = 8) -> None:
+        if starvation_bound < 1:
+            raise ValueError("starvation_bound must be >= 1")
+        self.starvation_bound = starvation_bound
+        self._seq = 0
+        self._pops = 0
+        # Insertion order == global age order: the aged pop is the head.
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._lanes: Dict[int, _Lane] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def depth_by_tenant(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.tenant] = counts.get(entry.tenant, 0) + 1
+        return counts
+
+    def push(self, item: Any, tenant: str, priority: int = 0) -> None:
+        self._seq += 1
+        entry = _Entry(self._seq, item, tenant, priority)
+        self._entries[entry.seq] = entry
+        lane = self._lanes.setdefault(priority, _Lane())
+        fifo = lane.tenants.get(tenant)
+        if fifo is None:
+            fifo = lane.tenants[tenant] = deque()
+            lane.rotation.append(tenant)
+        fifo.append(entry.seq)
+
+    def pop(self) -> Optional[Tuple[Any, str, int]]:
+        """Next (item, tenant, priority), or ``None`` when empty."""
+        if not self._entries:
+            return None
+        self._pops += 1
+        if self._pops % self.starvation_bound == 0:
+            entry = next(iter(self._entries.values()))
+        else:
+            entry = self._fair_pick()
+        return self._take(entry)
+
+    def pop_batch(self, limit: int) -> List[Tuple[Any, str, int]]:
+        """Up to ``limit`` pops, each honouring :meth:`pop` semantics."""
+        batch = []
+        for _ in range(max(0, limit)):
+            popped = self.pop()
+            if popped is None:
+                break
+            batch.append(popped)
+        return batch
+
+    # -- internals ---------------------------------------------------
+
+    def _fair_pick(self) -> _Entry:
+        for priority in sorted(self._lanes, reverse=True):
+            lane = self._lanes[priority]
+            while lane.rotation:
+                tenant = lane.rotation[0]
+                fifo = lane.tenants[tenant]
+                # Skip seqs already consumed by an aged pop.
+                while fifo and fifo[0] not in self._entries:
+                    fifo.popleft()
+                if not fifo:
+                    lane.rotation.popleft()
+                    del lane.tenants[tenant]
+                    continue
+                lane.rotation.rotate(-1)  # this tenant goes to the back
+                return self._entries[fifo.popleft()]
+            del self._lanes[priority]  # every lane member was stale
+        raise AssertionError("non-empty queue yielded no entry")
+
+    def _take(self, entry: _Entry) -> Tuple[Any, str, int]:
+        # The lane fifo may still hold the seq (aged-pop path); stale
+        # seqs are skipped lazily in _fair_pick.
+        del self._entries[entry.seq]
+        return entry.item, entry.tenant, entry.priority

@@ -25,7 +25,7 @@ import os
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, TextIO
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO
 
 #: Environment variable holding the telemetry directory (opt-in switch).
 ENV_VAR = "REPRO_TELEMETRY"
@@ -100,31 +100,65 @@ def _current() -> Optional[Collector]:
     return _active
 
 
+# In-process event subscribers (the sweep server's client feed).  A
+# listener receives every record emit() produces, even when no file
+# sink is configured — registering one therefore also flips enabled()
+# on, so timing-gated instrumentation points start producing events.
+_listeners: List[Callable[[Dict[str, Any]], None]] = []
+
+
+def add_listener(listener: Callable[[Dict[str, Any]], None]) -> None:
+    """Stream every emitted event to ``listener`` (in-process only)."""
+    _listeners.append(listener)
+
+
+def remove_listener(listener: Callable[[Dict[str, Any]], None]) -> None:
+    try:
+        _listeners.remove(listener)
+    except ValueError:
+        pass
+
+
+def _fanout(record: Dict[str, Any]) -> None:
+    # Iterate a copy: a listener may unsubscribe itself mid-callback.
+    # A listener exception must not break the instrumented code path —
+    # a dead subscriber is the server's problem, not the simulation's.
+    for listener in list(_listeners):
+        try:
+            listener(record)
+        except Exception:
+            pass
+
+
 def enabled() -> bool:
     """True when telemetry collection is active for this process."""
-    return _current() is not None
+    return _current() is not None or bool(_listeners)
 
 
 def emit(event: str, **fields: Any) -> None:
     """Record one structured event (no-op when telemetry is off)."""
     collector = _current()
-    if collector is None:
+    if collector is not None:
+        record = collector.emit(event, **fields)
+    elif _listeners:
+        record = {"event": event, "ts": time.time(), "pid": os.getpid()}
+        record.update(fields)
+    else:
         return
-    collector.emit(event, **fields)
+    _fanout(record)
 
 
 @contextmanager
 def phase(event: str, **fields: Any) -> Iterator[None]:
     """Time a block and emit ``event`` with a ``seconds`` field."""
-    collector = _current()
-    if collector is None:
+    if not enabled():
         yield
         return
     start = time.perf_counter()
     try:
         yield
     finally:
-        collector.emit(event, seconds=time.perf_counter() - start, **fields)
+        emit(event, seconds=time.perf_counter() - start, **fields)
 
 
 def configure(directory: os.PathLike) -> None:

@@ -1,0 +1,145 @@
+"""Admission control: caps, backpressure envelopes, and their release.
+
+Every test boots the daemon with ``hold_dispatch`` so the queue fills
+deterministically — nothing computes until the test releases the
+dispatcher.
+"""
+
+import pytest
+
+from repro.server import ServerConfig, ServerThread
+from repro.server.client import ServerClient
+
+pytestmark = pytest.mark.usefixtures("isolated_caches")
+
+INSTR = 30_000
+
+
+def held_server(**overrides):
+    config = ServerConfig.from_env(port=0, hold_dispatch=True, **overrides)
+    return ServerThread(config)
+
+
+def jobs(*keys, instructions=INSTR):
+    return [("Kafka", key, instructions) for key in keys]
+
+
+class TestTenantCap:
+    def test_cap_hit_returns_429_envelope(self):
+        with held_server(tenant_cap=2) as server:
+            with ServerClient(server.address, tenant="greedy") as client:
+                accepted = client.submit(jobs("gshare", "bimodal"),
+                                         wait=False)
+                assert accepted.accepted
+                over = client.submit(jobs("tsl64"), wait=False)
+                assert not over.accepted
+                envelope = over.rejection
+                assert envelope["code"] == 429
+                assert envelope["reason"] == "tenant-cap"
+                assert envelope["limit"] == 2
+                assert envelope["retry_after"] > 0
+
+    def test_cap_is_per_tenant(self):
+        with held_server(tenant_cap=1) as server:
+            with ServerClient(server.address, tenant="a") as first, \
+                    ServerClient(server.address, tenant="b") as second:
+                assert first.submit(jobs("gshare"), wait=False).accepted
+                assert not first.submit(jobs("tsl64"), wait=False).accepted
+                # A different tenant still has headroom.
+                assert second.submit(jobs("tsl64"), wait=False).accepted
+
+    def test_whole_submit_rejected_atomically(self):
+        """A submit that would straddle the cap is rejected whole — no
+        partial admission to unwind."""
+        with held_server(tenant_cap=2) as server:
+            with ServerClient(server.address, tenant="t") as client:
+                assert client.submit(jobs("gshare"), wait=False).accepted
+                over = client.submit(jobs("bimodal", "tsl64"), wait=False)
+                assert not over.accepted
+                stats = client.stats()
+                assert stats["outstanding"]["t"] == 1
+
+    def test_cap_released_when_jobs_complete(self):
+        with held_server(tenant_cap=2) as server:
+            with ServerClient(server.address, tenant="t") as client:
+                pending = client.submit(jobs("gshare", "bimodal"),
+                                        wait=False)
+                assert pending.accepted
+                assert not client.submit(jobs("tsl64"), wait=False).accepted
+                server.server.release_dispatch_threadsafe()
+                # Drain the two result frames: capacity is back.
+                client.collect(2)
+                retry = client.submit(jobs("tsl64"), wait=False)
+                assert retry.accepted
+
+
+class TestQueueBackpressure:
+    def test_queue_full_returns_429_envelope(self):
+        with held_server(max_queue=2, tenant_cap=100) as server:
+            with ServerClient(server.address, tenant="t") as client:
+                assert client.submit(jobs("gshare", "bimodal"),
+                                     wait=False).accepted
+                over = client.submit(jobs("tsl64"), wait=False)
+                assert not over.accepted
+                assert over.rejection["code"] == 429
+                assert over.rejection["reason"] == "queue-full"
+                assert over.rejection["limit"] == 2
+                assert over.rejection["queued"] == 2
+
+    def test_cached_jobs_bypass_queue_admission(self):
+        """Hot results are served without queue space: a full queue
+        still answers cached sweeps."""
+        from repro.experiments import runner
+
+        # The server thread shares this process's runner cache.
+        runner.get_result("Kafka", "gshare", INSTR)
+        with held_server(max_queue=1, tenant_cap=100) as server:
+            with ServerClient(server.address, tenant="filler") as client:
+                assert client.submit(jobs("bimodal"),
+                                     wait=False).accepted  # queue now full
+                assert not client.submit(jobs("tsl64"),
+                                         wait=False).accepted
+                hot = client.submit(jobs("gshare"))  # cached: still served
+                assert hot.accepted and hot.cached == 1
+                assert hot.results[0].source == "cache"
+
+    def test_rejected_tenant_not_charged(self):
+        with held_server(max_queue=1, tenant_cap=100) as server:
+            with ServerClient(server.address, tenant="t") as client:
+                assert client.submit(jobs("gshare"), wait=False).accepted
+                assert not client.submit(jobs("bimodal"),
+                                         wait=False).accepted
+                stats = client.stats()
+                assert stats["outstanding"]["t"] == 1
+                assert stats["rejected"] == {"queue-full": 1}
+
+
+class TestDrainRejection:
+    def test_draining_server_returns_503_and_finishes_admitted_work(self):
+        with held_server() as server:
+            with ServerClient(server.address, tenant="t") as client:
+                slow = client.submit(jobs("llbp", instructions=60_000),
+                                     wait=False)
+                assert slow.accepted
+                client.drain()  # releases the hold; llbp now computing
+                outcome = client.submit(jobs("gshare"), wait=False)
+                assert not outcome.accepted
+                assert outcome.rejection["code"] == 503
+                assert outcome.rejection["reason"] == "draining"
+                # Graceful: the already-admitted job still streams back.
+                frames = client.collect(1)
+                assert frames[0]["t"] == "result"
+                assert frames[0]["key"] == "llbp"
+
+    def test_duplicate_pending_jobs_coalesce_in_queue(self):
+        """The same job from two tenants occupies one queue slot but
+        charges both tenants' caps."""
+        with held_server(max_queue=1, tenant_cap=5) as server:
+            with ServerClient(server.address, tenant="a") as first, \
+                    ServerClient(server.address, tenant="b") as second:
+                assert first.submit(jobs("gshare"), wait=False).accepted
+                dup = second.submit(jobs("gshare"), wait=False)
+                assert dup.accepted  # coalesced: queue depth stays 1
+                stats = second.stats()
+                assert stats["queued"] == 1
+                assert stats["outstanding"] == {"a": 1, "b": 1}

@@ -1,0 +1,230 @@
+"""End-to-end daemon behaviour: serving, identity, coalescing, events,
+drain + journal-backed resume."""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.journal import result_digest
+from repro.server import ServerConfig, ServerThread
+from repro.server.client import ServerClient, result_digests, wait_ready
+from repro.server.loadgen import build_jobs, measure_ping, run_load
+
+pytestmark = pytest.mark.usefixtures("isolated_caches")
+
+INSTR = 30_000
+
+
+def server(**overrides):
+    overrides.setdefault("port", 0)
+    return ServerThread(ServerConfig.from_env(**overrides))
+
+
+def jobs(*keys, instructions=INSTR):
+    return [("Kafka", key, instructions) for key in keys]
+
+
+class TestServing:
+    def test_served_results_byte_identical_to_serial(self):
+        with server() as running:
+            with ServerClient(running.address) as client:
+                outcome = client.submit(jobs("gshare", "tsl64"))
+        served = result_digests(outcome.results, verify=True)
+        # Serial ground truth from a fresh in-process computation.
+        runner.clear_memory_cache()
+        for workload, key, instructions in jobs("gshare", "tsl64"):
+            expected = result_digest(
+                runner.get_result(workload, key, instructions))
+            assert served[f"{workload}|{key}|{instructions}"] == expected
+
+    def test_second_submit_serves_from_cache(self):
+        with server() as running:
+            with ServerClient(running.address) as client:
+                first = client.submit(jobs("gshare"))
+                again = client.submit(jobs("gshare"))
+        assert [r.source for r in first.results] == ["computed"]
+        assert [r.source for r in again.results] == ["cache"]
+        assert first.results[0].digest == again.results[0].digest
+
+    def test_digest_detail_elides_payload(self):
+        with server() as running:
+            with ServerClient(running.address) as client:
+                outcome = client.submit(jobs("gshare"), detail="digest")
+        assert outcome.results[0].payload is None
+        assert len(outcome.results[0].digest) == 64
+
+    def test_identical_jobs_from_two_clients_coalesce(self):
+        with server() as running:
+            first = ServerClient(running.address, tenant="a")
+            second = ServerClient(running.address, tenant="b")
+            try:
+                lhs, rhs = {}, {}
+                threads = [
+                    threading.Thread(
+                        target=lambda: lhs.update(
+                            out=first.submit(jobs("tsl64")))),
+                    threading.Thread(
+                        target=lambda: rhs.update(
+                            out=second.submit(jobs("tsl64")))),
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                stats = first.stats()
+            finally:
+                first.close()
+                second.close()
+        assert lhs["out"].results[0].digest == rhs["out"].results[0].digest
+        # One computation served both tenants.
+        assert stats["served"]["computed"] == 1
+
+    def test_unknown_message_gets_error_not_disconnect(self):
+        from repro.parallel.backend.tcp import recv_json, send_json
+
+        with server() as running:
+            with ServerClient(running.address) as client:
+                send_json(client._sock, {"t": "nonsense"})
+                reply = recv_json(client._sock)
+                assert reply["t"] == "error"
+                assert client.ping() < 5.0  # connection still usable
+
+    def test_bad_hello_version_rejected(self):
+        from repro.parallel.backend.tcp import recv_json, send_json
+        from repro.server.client import connect_address
+
+        with server() as running:
+            sock = connect_address(running.address, timeout=10.0)
+            try:
+                send_json(sock, {"t": "hello", "version": 999,
+                                 "tenant": "x"})
+                reply = recv_json(sock)
+                assert reply["t"] == "error"
+            finally:
+                sock.close()
+
+    def test_wait_ready_and_stats(self):
+        with server() as running:
+            assert wait_ready(running.address, timeout=30.0)
+            with ServerClient(running.address) as client:
+                stats = client.stats()
+        assert stats["t"] == "stats"
+        assert stats["queued"] == 0
+        assert not stats["draining"]
+
+
+class TestUnixSocket:
+    def test_unix_listener_serves(self, tmp_path):
+        path = str(tmp_path / "server.sock")
+        with server(port=None, unix_path=path) as running:
+            assert running.address == path
+            with ServerClient(path) as client:
+                outcome = client.submit(jobs("gshare"))
+        assert [r.source for r in outcome.results] == ["computed"]
+
+
+class TestLoadgen:
+    def test_closed_loop_burst(self):
+        burst = build_jobs(["Kafka"], ["gshare", "bimodal"], INSTR, 30)
+        with server() as running:
+            summary = run_load(running.address, burst, mode="closed",
+                               clients=3, detail="digest")
+        assert summary["jobs"] == 30
+        assert summary["errors"] == 0
+        latency = summary["latency_seconds"]
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert summary["throughput_jobs_per_sec"] > 0
+
+    def test_open_loop_respects_schedule(self):
+        burst = build_jobs(["Kafka"], ["gshare"], INSTR, 10)
+        with server() as running:
+            with ServerClient(running.address) as client:
+                client.submit(jobs("gshare"))  # warm so serving is fast
+            summary = run_load(running.address, burst, mode="open",
+                               clients=2, rate=50.0, detail="digest")
+        assert summary["jobs"] == 10
+        # 10 arrivals at 50/s occupy at least ~0.18s of schedule.
+        assert summary["wall_seconds"] >= 0.15
+
+    def test_measure_ping(self):
+        with server() as running:
+            ping = measure_ping(running.address, count=10)
+        assert 0 < ping["p50"] <= ping["p95"]
+
+
+class TestTelemetryStream:
+    def test_subscriber_receives_server_events(self):
+        with server() as running:
+            with ServerClient(running.address, tenant="watcher") as watcher:
+                watcher.subscribe()
+                with ServerClient(running.address, tenant="t") as client:
+                    client.submit(jobs("gshare"))
+                seen = set()
+                for _ in range(50):
+                    event = watcher.next_event()
+                    seen.add(event.get("event"))
+                    if "server.result" in seen:
+                        break
+        assert "server.result" in seen
+        assert seen & {"server.submit", "server.dispatch"}
+
+
+class TestDrainResume:
+    def test_clean_drain_leaves_no_pending(self):
+        with server() as running:
+            pending_path = running.server.pending_path
+            with ServerClient(running.address) as client:
+                client.submit(jobs("gshare"))
+        assert not pending_path.exists()
+
+    def test_resume_recomputes_nothing_for_journalled_jobs(self):
+        with server() as first:
+            with ServerClient(first.address) as client:
+                client.submit(jobs("gshare", "bimodal"))
+        runner.clear_memory_cache()  # simulate a fresh process
+        with server(resume=True) as second:
+            with ServerClient(second.address) as client:
+                outcome = client.submit(jobs("gshare", "bimodal"))
+                stats = client.stats()
+        assert sorted(r.source for r in outcome.results) == ["cache",
+                                                             "cache"]
+        assert stats["served"]["computed"] == 0
+
+    def test_resume_requeues_unjournalled_pending_jobs(self):
+        # A crash leaves admitted jobs in the pending journal with no
+        # completion record; forge that state directly.
+        with server() as first:
+            pending_path = first.server.pending_path
+            journal_path = first.server.journal_path
+            with ServerClient(first.address) as client:
+                client.submit(jobs("gshare"))
+        pending_path.write_text(json.dumps(
+            {"workload": "Kafka", "key": "bimodal",
+             "instructions": INSTR, "tenant": "t", "priority": 0}) + "\n")
+        assert journal_path.exists()
+        runner.clear_memory_cache()
+        with server(resume=True) as second:
+            with ServerClient(second.address) as client:
+                # Wait for the recovered job to finish computing.
+                deadline = 120
+                import time
+                for _ in range(deadline * 10):
+                    stats = client.stats()
+                    if (stats["queued"] == 0 and stats["inflight"] == 0
+                            and stats["served"]["computed"] >= 1):
+                        break
+                    time.sleep(0.1)
+                outcome = client.submit(jobs("bimodal"))
+        # The recovered job was computed by the resume itself; this
+        # tenant's submit was a pure cache hit.
+        assert [r.source for r in outcome.results] == ["cache"]
+        assert stats["served"]["computed"] == 1
+
+    def test_drain_message_reports_queue_depth(self):
+        with server() as running:
+            with ServerClient(running.address) as client:
+                reply = client.drain()
+        assert reply["t"] == "draining"
+        assert "queued" in reply

@@ -1,0 +1,117 @@
+"""Framing round-trips between the sync and async protocol halves."""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.parallel.backend import tcp
+from repro.server import protocol
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+# JSON-safe message bodies: finite numbers, text, bools, None, nested
+# lists/objects — what the server vocabulary is built from.
+_scalars = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40))
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4)),
+    max_leaves=12)
+_messages = st.dictionaries(st.text(min_size=1, max_size=16), _values,
+                            max_size=6)
+
+
+def _async_decode(data: bytes) -> dict:
+    async def read():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_json(reader)
+
+    return asyncio.run(read())
+
+
+@given(_messages)
+def test_encode_json_decodes_via_async_reader(message):
+    assert _async_decode(protocol.encode_json(message)) == message
+
+
+@given(_messages)
+def test_sync_sender_to_async_reader(message):
+    """What `send_json` (the client side) puts on the wire is exactly
+    what the daemon's async reader decodes."""
+    left, right = socket.socketpair()
+    try:
+        tcp.send_json(left, message)
+        kind, length = tcp._FRAME.unpack(
+            tcp.recv_exact(right, tcp._FRAME.size))
+        payload = tcp.recv_exact(right, length)
+        assert kind == tcp.KIND_JSON
+        assert json.loads(payload.decode()) == message
+    finally:
+        left.close()
+        right.close()
+
+
+@given(_messages)
+def test_async_encoder_to_sync_reader(message):
+    """What the daemon writes is exactly what the client's blocking
+    `recv_json` decodes."""
+    left, right = socket.socketpair()
+    try:
+        left.sendall(protocol.encode_json(message))
+        assert tcp.recv_json(right) == message
+    finally:
+        left.close()
+        right.close()
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_binary_frames_round_trip(payload):
+    async def read():
+        reader = asyncio.StreamReader()
+        reader.feed_data(protocol.encode_frame(tcp.KIND_BIN, payload))
+        reader.feed_eof()
+        return await protocol.read_frame(reader)
+
+    kind, received = asyncio.run(read())
+    assert kind == tcp.KIND_BIN
+    assert received == payload
+
+
+def test_truncated_frame_raises_connection_error():
+    frame = protocol.encode_json({"t": "ping"})
+    with pytest.raises(ConnectionError):
+        _async_decode(frame[:-1])
+
+
+def test_bad_kind_byte_raises_connection_error():
+    frame = b"X" + protocol.encode_json({"t": "ping"})[1:]
+    with pytest.raises(ConnectionError):
+        _async_decode(frame)
+
+
+def test_oversized_length_raises_connection_error():
+    header = tcp._FRAME.pack(tcp.KIND_JSON, tcp.MAX_FRAME + 1)
+    with pytest.raises(ConnectionError):
+        _async_decode(header)
+
+
+def test_non_object_json_raises_connection_error():
+    frame = protocol.encode_frame(tcp.KIND_JSON, b"[1,2,3]")
+    with pytest.raises(ConnectionError):
+        _async_decode(frame)
+
+
+def test_binary_frame_rejected_where_json_expected():
+    frame = protocol.encode_frame(tcp.KIND_BIN, b"{}")
+    with pytest.raises(ConnectionError):
+        _async_decode(frame)

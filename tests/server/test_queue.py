@@ -1,0 +1,148 @@
+"""Ordering policy of the sweep server's multi-tenant priority queue."""
+
+import pytest
+
+from repro.server.queue import SweepQueue
+
+
+def drain(queue):
+    order = []
+    while True:
+        popped = queue.pop()
+        if popped is None:
+            return order
+        order.append(popped)
+
+
+class TestFifo:
+    def test_single_tenant_is_fifo(self):
+        queue = SweepQueue()
+        for i in range(5):
+            queue.push(i, tenant="a")
+        assert [item for item, _, _ in drain(queue)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        queue = SweepQueue()
+        assert not queue and len(queue) == 0
+        queue.push("x", tenant="a")
+        assert queue and len(queue) == 1
+        queue.pop()
+        assert not queue
+
+    def test_pop_empty_returns_none(self):
+        assert SweepQueue().pop() is None
+
+    def test_pop_batch_respects_limit(self):
+        queue = SweepQueue()
+        for i in range(10):
+            queue.push(i, tenant="a")
+        assert len(queue.pop_batch(4)) == 4
+        assert len(queue) == 6
+        assert len(queue.pop_batch(100)) == 6
+
+    def test_invalid_starvation_bound(self):
+        with pytest.raises(ValueError):
+            SweepQueue(starvation_bound=0)
+
+
+class TestTenantFairness:
+    def test_round_robin_within_priority(self):
+        queue = SweepQueue(starvation_bound=1000)  # isolate fairness rule
+        for i in range(3):
+            queue.push(f"a{i}", tenant="a")
+        for i in range(3):
+            queue.push(f"b{i}", tenant="b")
+        items = [item for item, _, _ in drain(queue)]
+        assert items == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_bulk_tenant_cannot_starve_small_tenant(self):
+        queue = SweepQueue(starvation_bound=1000)
+        for i in range(100):
+            queue.push(f"bulk{i}", tenant="bulk")
+        queue.push("small", tenant="small")
+        # The single-job tenant is served by the second pop at the latest.
+        items = [queue.pop()[0] for _ in range(2)]
+        assert "small" in items
+
+    def test_late_joining_tenant_enters_rotation(self):
+        queue = SweepQueue(starvation_bound=1000)
+        for i in range(4):
+            queue.push(f"a{i}", tenant="a")
+        assert queue.pop()[0] == "a0"
+        queue.push("b0", tenant="b")
+        items = [item for item, _, _ in drain(queue)]
+        assert items.index("b0") <= 1  # one a-turn at most before b runs
+
+    def test_depth_by_tenant(self):
+        queue = SweepQueue()
+        queue.push(1, tenant="a")
+        queue.push(2, tenant="a")
+        queue.push(3, tenant="b")
+        assert queue.depth_by_tenant() == {"a": 2, "b": 1}
+
+
+class TestPriority:
+    def test_higher_priority_first(self):
+        queue = SweepQueue(starvation_bound=1000)
+        queue.push("low", tenant="a", priority=0)
+        queue.push("high", tenant="a", priority=5)
+        assert queue.pop()[0] == "high"
+        assert queue.pop()[0] == "low"
+
+    def test_priority_beats_arrival_order_across_tenants(self):
+        queue = SweepQueue(starvation_bound=1000)
+        queue.push("a-low", tenant="a", priority=0)
+        queue.push("b-high", tenant="b", priority=1)
+        queue.push("c-high", tenant="c", priority=1)
+        items = [item for item, _, _ in drain(queue)]
+        assert items == ["b-high", "c-high", "a-low"]
+
+    def test_pop_returns_tenant_and_priority(self):
+        queue = SweepQueue()
+        queue.push("x", tenant="t", priority=3)
+        assert queue.pop() == ("x", "t", 3)
+
+
+class TestStarvationBound:
+    def test_low_priority_served_within_bound(self):
+        bound = 4
+        queue = SweepQueue(starvation_bound=bound)
+        queue.push("starved", tenant="victim", priority=0)
+        for i in range(50):
+            queue.push(f"hot{i}", tenant="noisy", priority=9)
+        popped = [queue.pop()[0] for _ in range(bound)]
+        assert "starved" in popped  # served by the bound-th pop
+
+    def test_aged_pop_takes_globally_oldest(self):
+        queue = SweepQueue(starvation_bound=2)
+        queue.push("oldest", tenant="a", priority=0)
+        for i in range(6):
+            queue.push(f"hot{i}", tenant="b", priority=1)
+        first, second = queue.pop()[0], queue.pop()[0]
+        assert first == "hot0"
+        assert second == "oldest"  # 2nd pop is the aged one
+
+    def test_continuous_refill_still_bounded(self):
+        bound = 8
+        queue = SweepQueue(starvation_bound=bound)
+        queue.push("starved", tenant="victim", priority=0)
+        served_at = None
+        for pop_index in range(1, bound + 1):
+            queue.push(f"hot{pop_index}", tenant="noisy", priority=9)
+            item = queue.pop()[0]
+            if item == "starved":
+                served_at = pop_index
+                break
+        assert served_at is not None and served_at <= bound
+
+    def test_interleaved_pushes_and_aged_pops_stay_consistent(self):
+        queue = SweepQueue(starvation_bound=3)
+        pushed, popped = 0, []
+        for round_index in range(10):
+            for _ in range(3):
+                queue.push(pushed, tenant=f"t{pushed % 4}",
+                           priority=pushed % 2)
+                pushed += 1
+            popped.extend(item for item, _, _ in queue.pop_batch(2))
+        popped.extend(item for item, _, _ in drain(queue))
+        assert sorted(popped) == list(range(pushed))  # nothing lost/duped
