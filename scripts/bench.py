@@ -35,6 +35,11 @@ within 3x headroom of the committed ping-normalized ratio (the ping RTT
 is the null: framing + scheduling with no simulation, so machine speed
 cancels out).
 
+Both modes also gate the design-space exploration harness
+(``repro.explore``): the fixed-seed smoke search must reproduce the
+committed golden Pareto frontier (``tests/explore/golden_frontier.json``)
+byte-identically through the real CLI.
+
 Both modes additionally gate the array engine (``repro.sim.array``):
 bit-identity to the Python engine is a hard failure in either mode; the
 full gate also checks the committed ``array_engine`` numbers hold the
@@ -259,6 +264,46 @@ def _gate_server(data: dict, instructions: int) -> int:
     return 0
 
 
+#: The explore gate's fixture: the frontier the pinned smoke search
+#: (``python -m repro.explore --budget smoke``) must reproduce byte for
+#: byte.  The search pins its own workloads and trace lengths, so the
+#: check is deterministic regardless of REPRO_WORKLOADS / REPRO_ENGINE.
+EXPLORE_GOLDEN = REPO_ROOT / "tests" / "explore" / "golden_frontier.json"
+
+
+def _gate_explore() -> int:
+    """Gate the design-space exploration harness: the fixed-seed smoke
+    search must reproduce the committed golden Pareto frontier
+    byte-identically, through the real ``python -m repro.explore`` CLI.
+    Any drift in the halving schedule, shuffle, MPKI accounting, the
+    storage model or the artifact layout fails here.
+    """
+    import os
+    import subprocess
+
+    if not EXPLORE_GOLDEN.exists():
+        print(f"no golden frontier at {EXPLORE_GOLDEN}; run "
+              "pytest tests/explore/test_golden_frontier.py "
+              "--update-golden to record one")
+        return 1
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.explore", "--budget", "smoke",
+         "--check", str(EXPLORE_GOLDEN), "--quiet"],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("FAIL: smoke explore search did not reproduce the golden "
+              "frontier")
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        return 1
+    print("  explore      smoke frontier byte-identical to committed "
+          "golden  ok")
+    return 0
+
+
 def _gate_array(trace, data: dict, threshold: float) -> int:
     """Gate the array engine: identity is a hard failure; throughput is
     gated two ways — the *committed* ``array_engine`` numbers must hold
@@ -415,6 +460,8 @@ def _smoke(args, baseline: dict) -> int:
         return 1
     if _gate_server(args.data, SMOKE_INSTRUCTIONS):
         return 1
+    if _gate_explore():
+        return 1
     print("PASS: no key regressed beyond threshold (relative gate)")
     return 0
 
@@ -502,6 +549,8 @@ def main(argv=None):
     if _gate_distributed(data):
         return 1
     if _gate_server(data, SMOKE_INSTRUCTIONS):
+        return 1
+    if _gate_explore():
         return 1
     print("PASS: no key regressed beyond threshold")
     return 0

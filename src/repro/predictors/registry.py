@@ -28,18 +28,31 @@ comma-separated tokens for the sensitivity studies::
     llbp:unbucketed,lru        ablation switches
     llbp:exclusive             the paper's exclusive provider training
 
+``tsl:`` names a TAGE-SC-L geometry off the preset ladder, for the
+design-space exploration harness (:mod:`repro.explore`)::
+
+    tsl:x=4                    TAGE entries scaled 4x (== tsl256)
+    tsl:t=11                   11 tagged tables subsampled from the ladder
+    tsl:x=2,t=15,tag=10,sc=9   scale, table count, tag bits, SC index bits
+
 The token grammar is *declarative*: each family lists flag tokens (a bare
 word pinning one config field to one value) and parameter tokens
 (``name=value`` with a parser per name).  Unknown plain keys raise
 ``KeyError``; malformed suffix tokens raise ``ValueError`` — the same
 error contract the deprecated helpers always had, which the experiment
 CLIs and cache filenames rely on.
+
+A key has exactly one *canonical* spelling (:func:`canonical_key`):
+flags before parameters, tokens in declaration order, defaults omitted,
+and a parameterised spelling that lands on a preset collapses to the
+preset's plain key (``tsl:x=4`` → ``tsl256``, ``llbp:`` → ``llbp``).
+Cache filenames and the explore harness dedup through it.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.llbp.config import ContextSource, LLBPConfig
 from repro.llbp.predictor import LLBPTageScL
@@ -47,8 +60,16 @@ from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import Bimodal
 from repro.predictors.gshare import GShare
 from repro.predictors.perfect import PerfectPredictor
-from repro.predictors.presets import tage_infinite, tsl_64k, tsl_infinite, tsl_scaled
-from repro.predictors.tage_sc_l import TageScL
+from repro.predictors.presets import (
+    TAGE_HISTORY_LENGTHS,
+    tage_config_64k,
+    tage_infinite,
+    tsl_64k,
+    tsl_infinite,
+    tsl_scaled,
+)
+from repro.predictors.tage import TageConfig
+from repro.predictors.tage_sc_l import TageScL, TslConfig
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,11 +78,12 @@ class PredictorSpec:
 
     ``config`` is ``None`` for families without tunable tokens (every
     plain key except ``llbp``); for ``llbp`` it is the fully resolved
-    :class:`LLBPConfig` with every token applied.
+    :class:`LLBPConfig` with every token applied, for ``tsl`` the
+    resolved :class:`TslGeometry`.
     """
 
     family: str
-    config: Optional[LLBPConfig] = None
+    config: Union[LLBPConfig, "TslGeometry", None] = None
 
 
 # ---------------------------------------------------------------------------
@@ -91,6 +113,143 @@ _TSL_NAME_TO_KEY = {
     "Inf TAGE": "inf-tage",
     "Inf TSL": "inf-tsl",
 }
+
+# ---------------------------------------------------------------------------
+# The ``tsl:`` token grammar: TAGE-SC-L geometry off the preset ladder.
+# All parameters default to the 64K TSL baseline, so the empty suffix is
+# the baseline itself and pure power-of-two scales collapse to the named
+# presets (which keeps one canonical key — and one cache file — per
+# geometry).
+
+
+@dataclasses.dataclass(frozen=True)
+class TslGeometry:
+    """A ``tsl:`` key's resolved geometry (defaults == 64K TSL).
+
+    ``scale`` multiplies the TAGE table entry counts (power of two, the
+    paper's §VI scaling methodology); ``tables`` picks that many history
+    lengths from the 21-length baseline ladder, subsampled end-to-end so
+    any table count still spans 4…3000 (:func:`tsl_history_lengths`);
+    ``tag_bits`` and ``sc_index_bits`` size the tagged entries and the
+    statistical corrector.
+    """
+
+    scale: int = 1
+    tables: int = len(TAGE_HISTORY_LENGTHS)
+    tag_bits: int = 12
+    sc_index_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale < 1 or self.scale & (self.scale - 1):
+            raise ValueError("tsl scale (x=) must be a positive power of two")
+        if not 1 <= self.tables <= len(TAGE_HISTORY_LENGTHS):
+            raise ValueError(
+                f"tsl table count (t=) must be in "
+                f"1..{len(TAGE_HISTORY_LENGTHS)}")
+        if self.tag_bits < 2:
+            raise ValueError("tsl tag bits (tag=) must be at least 2")
+        if self.sc_index_bits < 1:
+            raise ValueError("tsl SC index bits (sc=) must be positive")
+
+
+#: token name -> (geometry field, value parser, value formatter)
+_TSL_PARAMS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
+    ("x", "scale", int, str),
+    ("t", "tables", int, str),
+    ("tag", "tag_bits", int, str),
+    ("sc", "sc_index_bits", int, str),
+)
+
+_TSL_PARAM_MAP = {token: (field, parse) for token, field, parse, _ in _TSL_PARAMS}
+
+#: pure power-of-two scale deviations land on the preset ladder.
+_TSL_SCALE_TO_KEY = {1: "tsl64", 2: "tsl128", 4: "tsl256", 8: "tsl512",
+                     16: "tsl1m"}
+
+
+def parse_tsl_spec(spec: str) -> TslGeometry:
+    """Parse a ``tsl`` key suffix (the part after ``tsl:``).
+
+    Same contract as :func:`parse_llbp_spec`: whitespace and empty
+    tokens are ignored, unknown tokens raise ``ValueError``, and so do
+    values :class:`TslGeometry` itself rejects.
+    """
+    changes: Dict[str, int] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"unknown TSL token {token!r}")
+        name, value = token.split("=", 1)
+        try:
+            field, parse = _TSL_PARAM_MAP[name]
+        except KeyError:
+            raise ValueError(f"unknown TSL parameter {name!r}") from None
+        changes[field] = parse(value)
+    return TslGeometry(**changes)
+
+
+def tsl_key_suffix(geometry: TslGeometry) -> str:
+    """Canonical token list for ``geometry`` (inverse of :func:`parse_tsl_spec`)."""
+    default = TslGeometry()
+    tokens = []
+    for token, field, _, fmt in _TSL_PARAMS:
+        current = getattr(geometry, field)
+        if current != getattr(default, field):
+            tokens.append(f"{token}={fmt(current)}")
+    return ",".join(tokens)
+
+
+def tsl_canonical_key(geometry: TslGeometry) -> str:
+    """Canonical key for ``geometry``: a preset name where one matches."""
+    suffix = tsl_key_suffix(geometry)
+    if not suffix:
+        return "tsl64"
+    if suffix == f"x={geometry.scale}":
+        preset = _TSL_SCALE_TO_KEY.get(geometry.scale)
+        if preset is not None:
+            return preset
+    return f"tsl:{suffix}"
+
+
+def tsl_history_lengths(tables: int) -> Tuple[int, ...]:
+    """``tables`` lengths subsampled from the baseline 21-length ladder.
+
+    Both endpoints (4 and 3000) are always kept for ``tables >= 2`` so a
+    shallower TAGE still spans the full geometric range; the single-table
+    degenerate case keeps the shortest history.  The result is strictly
+    increasing, as :class:`~repro.predictors.tage.TageConfig` requires.
+    """
+    ladder = TAGE_HISTORY_LENGTHS
+    if not 1 <= tables <= len(ladder):
+        raise ValueError(f"table count must be in 1..{len(ladder)}")
+    if tables == 1:
+        return (ladder[0],)
+    step = (len(ladder) - 1) / (tables - 1)
+    return tuple(ladder[round(i * step)] for i in range(tables))
+
+
+def _make_tsl(geometry: TslGeometry) -> TageScL:
+    canonical = tsl_canonical_key(geometry)
+    if canonical in _SIMPLE_FACTORIES:
+        # A geometry that IS a preset must build the preset, so caches,
+        # display names and key_of cannot tell the two spellings apart.
+        return _SIMPLE_FACTORIES[canonical]()
+    extra_bits = geometry.scale.bit_length() - 1
+    base = tage_config_64k()
+    config = TslConfig(
+        tage=TageConfig(
+            history_lengths=tsl_history_lengths(geometry.tables),
+            index_bits=base.index_bits + extra_bits,
+            tag_bits=geometry.tag_bits,
+            bimodal_index_bits=base.bimodal_index_bits + extra_bits,
+            seed=base.seed,
+        ),
+        sc_index_bits=geometry.sc_index_bits,
+        name=canonical,
+    )
+    return TageScL(config)
 
 # ---------------------------------------------------------------------------
 # The LLBP token grammar, declaratively.  A flag token pins one config
@@ -214,7 +373,26 @@ def parse_key(key: str) -> PredictorSpec:
     if key.startswith("llbp:"):
         return PredictorSpec(family="llbp",
                              config=parse_llbp_spec(key[len("llbp:"):]))
+    if key.startswith("tsl:"):
+        return PredictorSpec(family="tsl",
+                             config=parse_tsl_spec(key[len("tsl:"):]))
     raise KeyError(f"unknown predictor key {key!r}")
+
+
+def canonical_key(key: str) -> str:
+    """The canonical spelling of ``key`` (see module docstring).
+
+    Idempotent, and consistent with :func:`key_of`:
+    ``canonical_key(k) == key_of(make_predictor(k))`` for every key the
+    registry can instantiate.  Same errors as :func:`parse_key`.
+    """
+    spec = parse_key(key)
+    if spec.family == "llbp":
+        suffix = llbp_key_suffix(spec.config)
+        return f"llbp:{suffix}" if suffix else "llbp"
+    if spec.family == "tsl":
+        return tsl_canonical_key(spec.config)
+    return spec.family
 
 
 def make_predictor(key: str) -> BranchPredictor:
@@ -222,6 +400,8 @@ def make_predictor(key: str) -> BranchPredictor:
     spec = parse_key(key)
     if spec.family == "llbp":
         return LLBPTageScL(spec.config)
+    if spec.family == "tsl":
+        return _make_tsl(spec.config)
     return _SIMPLE_FACTORIES[spec.family]()
 
 
@@ -237,6 +417,10 @@ def key_of(predictor: BranchPredictor) -> str:
         return f"llbp:{suffix}" if suffix else "llbp"
     if isinstance(predictor, TageScL):
         name = predictor.config.name
+        if name.startswith("tsl:"):
+            # Parameterised geometries carry their canonical key as the
+            # display name (set by _make_tsl).
+            return name
         try:
             return _TSL_NAME_TO_KEY[name]
         except KeyError:
@@ -254,3 +438,8 @@ def key_of(predictor: BranchPredictor) -> str:
 def known_keys() -> Tuple[str, ...]:
     """Every plain key the registry accepts (``llbp`` takes a suffix too)."""
     return tuple(_SIMPLE_FACTORIES) + ("llbp",)
+
+
+def parameterized_families() -> Tuple[str, ...]:
+    """Families that accept a ``:``-separated token suffix."""
+    return ("llbp", "tsl")

@@ -1,0 +1,87 @@
+"""The ``python -m repro.explore`` CLI surface, in-process."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore.__main__ import BUDGETS, journal_path, main
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_INSTRUCTIONS", raising=False)
+    monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+    from repro.experiments.runner import clear_memory_cache
+
+    clear_memory_cache()
+    yield tmp_path
+    clear_memory_cache()
+
+
+def small_run(tmp_path, *extra):
+    """A tiny custom-space search: 2 configs, 1 workload, short traces."""
+    out = tmp_path / "artifact.json"
+    code = main(["--budget", "smoke", "--space", "bimodal;gshare",
+                 "--workloads", "Kafka", "--out", str(out), "--jobs", "1",
+                 "--quiet", *extra])
+    return code, out
+
+
+def test_writes_artifact_and_reports_frontier(tmp_path, capsys):
+    code, out = small_run(tmp_path)
+    assert code == 0
+    artifact = json.loads(out.read_text())
+    assert artifact["space"] == "custom"
+    assert artifact["workloads"] == ["Kafka"]
+    assert {entry["key"] for entry in artifact["finalists"]} == {
+        "bimodal", "gshare"}
+    assert capsys.readouterr().out.count("artifact written") == 1
+
+
+def test_check_passes_against_own_artifact(tmp_path):
+    code, out = small_run(tmp_path)
+    assert code == 0
+    code, _ = small_run(tmp_path, "--check", str(out))
+    assert code == 0
+
+
+def test_check_fails_on_any_byte_difference(tmp_path, capsys):
+    code, out = small_run(tmp_path)
+    assert code == 0
+    expected = tmp_path / "expected.json"
+    expected.write_text(out.read_text().replace('"seed": 0', '"seed": 1'))
+    code, _ = small_run(tmp_path, "--check", str(expected))
+    assert code == 1
+    assert "differs" in capsys.readouterr().err
+
+
+def test_unknown_space_is_a_usage_error(tmp_path, capsys):
+    assert main(["--space", "no;such;keys", "--jobs", "1"]) == 2
+    assert "invalid --space" in capsys.readouterr().err
+
+
+def test_table_rendering_on_stdout(tmp_path, capsys):
+    code = main(["--budget", "smoke", "--space", "bimodal;gshare",
+                 "--workloads", "Kafka", "--jobs", "1"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "mean MPKI" in output
+    assert "per-workload winners:" in output
+
+
+def test_journal_lives_beside_the_experiments_journal(tmp_path):
+    path = journal_path()
+    assert path.name == "explore-journal.jsonl"
+    assert path.parent == tmp_path / "cache"
+
+
+def test_budget_presets_are_consistent():
+    assert set(BUDGETS) == {"smoke", "short", "full"}
+    smoke = BUDGETS["smoke"]
+    assert smoke.workloads == ("NodeApp", "Kafka")
+    assert smoke.space == "smoke"
+    for budget in BUDGETS.values():
+        assert budget.base_instructions <= budget.resolve_full_instructions()

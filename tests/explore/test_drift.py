@@ -1,0 +1,106 @@
+"""Registry catalog vs. explore enumeration: no family left behind.
+
+``registry.known_keys`` and the explore templates are maintained in
+different modules; this suite fails the build when they drift — a new
+catalog family that no search-space template can reach, a template
+rendering keys the registry rejects, or a key whose spelling is not
+canonical (token order, defaults spelled out, preset aliases).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.space import SPACES, TEMPLATES, Template, resolve_space
+from repro.predictors import registry
+
+
+def all_template_keys() -> set:
+    keys = set()
+    for template in TEMPLATES:
+        keys.update(template.expand())
+    return keys
+
+
+def test_every_catalog_family_is_reachable_from_a_template():
+    reachable = {registry.parse_key(key).family
+                 for key in all_template_keys()}
+    # Parameterized keys report their grammar family; fold them onto the
+    # plain catalog spelling they extend.
+    reachable.discard("tsl")
+    reachable.add("tsl64")
+    missing = [key for key in registry.known_keys()
+               if registry.parse_key(key).family not in reachable]
+    assert not missing, (
+        f"catalog keys unreachable from every explore template: {missing} "
+        "— add them to a template in repro/explore/space.py")
+
+
+def test_every_template_expands_to_valid_canonical_keys():
+    for template in TEMPLATES:
+        keys = template.expand()
+        assert keys, template.name
+        for key in keys:
+            registry.parse_key(key)   # raises if the registry rejects it
+            assert registry.canonical_key(key) == key, (
+                f"template {template.name!r} produced non-canonical "
+                f"{key!r}")
+
+
+def test_every_space_expands_uniquely():
+    for space in SPACES.values():
+        keys = space.expand()
+        assert keys, space.name
+        assert len(keys) == len(set(keys)), space.name
+
+
+def test_smoke_space_is_pinned():
+    """The golden fixture depends on this exact field; changing it means
+    regenerating tests/explore/golden_frontier.json."""
+    assert SPACES["smoke"].expand() == [
+        "tsl64", "tsl256",
+        "llbp:cd_bits=8", "llbp:unbucketed,cd_bits=8,ps=8",
+        "llbp", "llbp:unbucketed,ps=8",
+        "bimodal",
+    ]
+
+
+def test_canonical_key_normalizes_token_order():
+    # The same config spelled with tokens swapped lands on one key (and
+    # therefore one cache entry, one search-space slot).
+    forward = registry.canonical_key("llbp:cd_bits=8,unbucketed,ps=8")
+    swapped = registry.canonical_key("llbp:ps=8,unbucketed,cd_bits=8")
+    assert forward == swapped == "llbp:unbucketed,cd_bits=8,ps=8"
+
+
+def test_canonical_key_collapses_defaults_and_presets():
+    assert registry.canonical_key("llbp:") == "llbp"
+    assert registry.canonical_key("llbp:w=8") == "llbp"     # default w
+    assert registry.canonical_key("tsl:x=4") == "tsl256"
+    assert registry.canonical_key("tsl:x=1,t=21") == "tsl64"
+
+
+def test_templates_validate_their_shape():
+    with pytest.raises(ValueError):
+        Template("bad", "plain", axes=(("x=1",),))
+    with pytest.raises(ValueError):
+        Template("bad", "tsl", keys=("tsl64",))
+    with pytest.raises(ValueError):
+        Template("bad", "no-such-family", keys=("x",))
+
+
+def test_template_expansion_names_the_broken_template():
+    broken = Template("broken", "llbp", axes=(("ps=48",),))
+    with pytest.raises(ValueError, match="broken"):
+        broken.expand()
+
+
+def test_resolve_space_accepts_literal_key_lists():
+    space = resolve_space("tsl64; llbp:cd_bits=8")
+    assert space.expand() == ["tsl64", "llbp:cd_bits=8"]
+    with pytest.raises(ValueError):
+        resolve_space("")
+
+
+def test_resolve_space_finds_builtins():
+    assert resolve_space("smoke") is SPACES["smoke"]

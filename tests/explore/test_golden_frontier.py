@@ -1,0 +1,78 @@
+"""Golden-fixture regression: the smoke search is bit-reproducible.
+
+Runs the exact search ``python -m repro.explore --budget smoke``
+performs — same space, workloads, schedule and seed — against a
+hermetic cache, and asserts the rendered artifact matches
+``tests/explore/golden_frontier.json`` byte for byte.  Any drift in the
+bandit schedule, the shuffle, MPKI accounting, the storage model or the
+JSON layout shows up here.  When a change is *intended*, regenerate
+with::
+
+    python -m pytest tests/explore/test_golden_frontier.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.explore import pareto, search
+from repro.explore.__main__ import BUDGETS
+from repro.explore.space import SPACES
+
+GOLDEN_PATH = Path(__file__).parent / "golden_frontier.json"
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(tmp_path, monkeypatch):
+    """Golden bytes must not depend on ambient caches or env budgets."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_INSTRUCTIONS", raising=False)
+    monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+    from repro.experiments.runner import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def run_smoke_search() -> str:
+    budget = BUDGETS["smoke"]
+    space = SPACES[budget.space]
+    keys = space.expand()
+    schedule = search.halving_schedule(
+        len(keys), budget.base_instructions,
+        budget.resolve_full_instructions(), eta=budget.eta,
+        min_survivors=budget.min_survivors)
+    outcome = search.run_search(keys, budget.resolve_workloads(),
+                                schedule, seed=0, max_workers=1)
+    return pareto.render_artifact(pareto.build_artifact(outcome,
+                                                        space.name))
+
+
+def test_smoke_search_reproduces_golden_frontier(update_golden):
+    rendered = run_smoke_search()
+    if update_golden:
+        GOLDEN_PATH.write_text(rendered)
+        return
+    assert rendered == GOLDEN_PATH.read_text(), (
+        "smoke-search frontier drifted from tests/explore/"
+        "golden_frontier.json; if the change is intended, regenerate "
+        "with --update-golden")
+
+
+def test_golden_fixture_is_canonical_json():
+    """The committed bytes are exactly the canonical rendering."""
+    text = GOLDEN_PATH.read_text()
+    artifact = json.loads(text)
+    assert pareto.render_artifact(artifact) == text
+    # Sanity: the fixture describes the pinned smoke search.
+    assert artifact["space"] == "smoke"
+    assert artifact["workloads"] == ["NodeApp", "Kafka"]
+    assert artifact["seed"] == 0
+    assert artifact["frontier"], "empty frontier"
+    front_keys = {entry["key"] for entry in artifact["frontier"]}
+    for entry in artifact["finalists"]:
+        assert entry["pareto"] == (entry["key"] in front_keys)

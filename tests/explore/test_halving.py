@@ -1,0 +1,157 @@
+"""Successive-halving promotion math, independent of any engine.
+
+These pin the scheduler invariants the search driver relies on:
+exact budget accounting, monotone rung shapes, deterministic
+starvation-free promotion, and a seed-stable shuffle.  Everything here
+is a pure function — no simulation, no caches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.explore.search import (
+    halving_schedule,
+    promote,
+    schedule_cost,
+    shuffled,
+)
+
+schedule_args = st.tuples(
+    st.integers(min_value=1, max_value=200),      # configs
+    st.integers(min_value=1, max_value=10_000),   # base instructions
+    st.integers(min_value=1, max_value=50),       # full/base multiplier
+    st.integers(min_value=2, max_value=5),        # eta
+    st.integers(min_value=1, max_value=8),        # min survivors
+)
+
+
+@given(schedule_args)
+def test_schedule_shape(args):
+    configs, base, multiplier, eta, floor = args
+    full = base * multiplier
+    schedule = halving_schedule(configs, base, full, eta=eta,
+                                min_survivors=floor)
+
+    # Rung 0 admits the whole field; the last rung runs the full budget.
+    assert schedule[0].survivors == configs
+    assert schedule[0].instructions == base
+    assert schedule[-1].instructions == full
+    assert [rung.index for rung in schedule] == list(range(len(schedule)))
+
+    # Instructions strictly increase; survivors never increase and never
+    # drop below the floor (clamped to the field size) after rung 0.
+    for earlier, later in zip(schedule, schedule[1:]):
+        assert later.instructions > earlier.instructions
+        assert later.survivors <= earlier.survivors
+        assert later.survivors >= min(configs, floor)
+
+
+@given(schedule_args)
+def test_budget_conservation(args):
+    """schedule_cost is the exact instruction total, config by config.
+
+    Each rung evaluates each of its entrants exactly once, so summing
+    per-rung (survivors x instructions) must equal replaying the ladder
+    entrant by entrant — no config is ever evaluated twice at one rung.
+    """
+    configs, base, multiplier, eta, floor = args
+    schedule = halving_schedule(configs, base, base * multiplier, eta=eta,
+                                min_survivors=floor)
+    replay = sum(rung.survivors * rung.instructions for rung in schedule)
+    assert schedule_cost(schedule) == replay
+    assert schedule_cost(schedule, num_workloads=3) == 3 * replay
+
+    # The (config slot, rung) evaluation grid has no duplicates.
+    grid = {(slot, rung.index)
+            for rung in schedule for slot in range(rung.survivors)}
+    assert len(grid) == sum(rung.survivors for rung in schedule)
+
+
+def test_halving_reduces_by_eta():
+    schedule = halving_schedule(81, 100, 100 * 3 ** 4, eta=3,
+                                min_survivors=1)
+    assert [rung.survivors for rung in schedule] == [81, 27, 9, 3, 1]
+    assert [rung.instructions for rung in schedule] == [
+        100, 300, 900, 2700, 8100]
+
+
+def test_small_field_never_starves():
+    """Fields at or below the floor still climb the full ladder."""
+    schedule = halving_schedule(2, 100, 900, eta=3, min_survivors=3)
+    assert [rung.survivors for rung in schedule] == [2, 2, 2]
+
+
+def test_full_budget_not_multiple_of_eta():
+    """The top rung is pinned to exactly the requested full budget."""
+    schedule = halving_schedule(10, 100, 1000, eta=3, min_survivors=3)
+    assert [rung.instructions for rung in schedule] == [100, 300, 900, 1000]
+
+
+def test_degenerate_single_rung():
+    schedule = halving_schedule(5, 1000, 1000)
+    assert len(schedule) == 1
+    assert schedule[0].survivors == 5
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(num_configs=0, base_instructions=1, full_instructions=1),
+    dict(num_configs=1, base_instructions=0, full_instructions=1),
+    dict(num_configs=1, base_instructions=10, full_instructions=5),
+    dict(num_configs=1, base_instructions=1, full_instructions=1, eta=1),
+    dict(num_configs=1, base_instructions=1, full_instructions=1,
+         min_survivors=0),
+])
+def test_schedule_rejects_bad_arguments(kwargs):
+    with pytest.raises(ValueError):
+        halving_schedule(**kwargs)
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=8),
+                       st.floats(min_value=0, max_value=100,
+                                 allow_nan=False),
+                       min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=30))
+def test_promote_selects_the_best(scores, count):
+    chosen = promote(scores, count)
+    assert len(chosen) == min(count, len(scores))
+    assert len(set(chosen)) == len(chosen)
+    # Starvation-free: nothing outside the cut strictly beats anything
+    # inside it.
+    worst_in = max(scores[key] for key in chosen)
+    for key in scores:
+        if key not in chosen:
+            assert scores[key] >= worst_in
+
+
+def test_promote_is_order_independent():
+    scores = {"b": 1.0, "a": 1.0, "c": 0.5}
+    reversed_scores = dict(reversed(list(scores.items())))
+    assert promote(scores, 2) == promote(reversed_scores, 2) == ["c", "a"]
+
+
+@given(st.lists(st.text(min_size=1, max_size=6), unique=True,
+                max_size=40),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_shuffle_is_a_seeded_permutation(keys, seed):
+    once = shuffled(keys, seed)
+    again = shuffled(keys, seed)
+    assert once == again                      # deterministic in the seed
+    assert sorted(once) == sorted(keys)       # a permutation, no loss
+    assert keys == list(keys)                 # input untouched
+
+
+def test_shuffle_seed_changes_order():
+    keys = [f"key{i}" for i in range(20)]
+    assert shuffled(keys, 1) != shuffled(keys, 2)
+
+
+def test_schedule_cost_example():
+    schedule = halving_schedule(7, 30_000, 90_000, eta=3, min_survivors=3)
+    # Rung 0: 7 configs x 30k; rung 1: 3 survivors x 90k.
+    assert schedule_cost(schedule, num_workloads=2) == 2 * (
+        7 * 30_000 + 3 * 90_000)
+    assert not math.isinf(schedule_cost(schedule))

@@ -1,0 +1,100 @@
+"""Pareto-front extraction, winner attribution and the artifact bytes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.explore.pareto import (
+    build_artifact,
+    pareto_front,
+    render_artifact,
+    render_frontier_table,
+    workload_winners,
+)
+from repro.explore.search import Evaluation, Rung, SearchOutcome
+
+
+def evaluation(key: str, **mpki: float) -> Evaluation:
+    return Evaluation(key, 90_000, dict(mpki))
+
+
+def test_front_drops_dominated_configs():
+    # gshare: more storage than bimodal AND worse MPKI -> dominated.
+    finalists = [
+        evaluation("bimodal", NodeApp=12.0, Kafka=8.0),
+        evaluation("gshare", NodeApp=13.0, Kafka=9.0),
+        evaluation("tsl64", NodeApp=9.0, Kafka=6.0),
+    ]
+    front = pareto_front(finalists)
+    assert [e.key for e in front] == ["bimodal", "tsl64"]
+
+
+def test_front_keeps_tradeoffs_sorted_by_storage():
+    finalists = [
+        evaluation("tsl256", NodeApp=8.0),
+        evaluation("bimodal", NodeApp=12.0),
+        evaluation("tsl64", NodeApp=9.0),
+    ]
+    front = pareto_front(finalists)
+    assert [e.key for e in front] == ["bimodal", "tsl64", "tsl256"]
+
+
+def test_infinite_storage_never_dominates_on_storage():
+    # The oracle has the best MPKI but infinite storage: it stays on the
+    # front (nothing beats its MPKI) without displacing bounded configs.
+    finalists = [
+        evaluation("inf-tsl", NodeApp=1.0),
+        evaluation("tsl64", NodeApp=9.0),
+    ]
+    front = pareto_front(finalists)
+    assert [e.key for e in front] == ["tsl64", "inf-tsl"]
+
+
+def test_winners_per_workload_with_deterministic_ties():
+    finalists = [
+        evaluation("tsl64", NodeApp=9.0, Kafka=6.0),
+        evaluation("bimodal", NodeApp=9.0, Kafka=5.0),
+    ]
+    winners = workload_winners(finalists)
+    # NodeApp ties 9.0/9.0 -> lexicographically smaller key wins.
+    assert winners == {"NodeApp": "bimodal", "Kafka": "bimodal"}
+
+
+def outcome() -> SearchOutcome:
+    finalists = (
+        evaluation("tsl64", NodeApp=9.0, Kafka=6.0),
+        evaluation("inf-tsl", NodeApp=1.0, Kafka=1.0),
+    )
+    schedule = (Rung(0, 30_000, 3), Rung(1, 90_000, 2))
+    trajectory = {e.key: {1: e} for e in finalists}
+    trajectory["bimodal"] = {0: evaluation("bimodal", NodeApp=12.0,
+                                           Kafka=8.0)}
+    return SearchOutcome(
+        keys=("tsl64", "bimodal", "inf-tsl"),
+        workloads=("NodeApp", "Kafka"), schedule=schedule, seed=0,
+        trajectory=trajectory, finalists=finalists, evaluations=10)
+
+
+def test_artifact_is_json_clean_and_deterministic():
+    artifact = build_artifact(outcome(), "smoke")
+    rendered = render_artifact(artifact)
+    # Canonical bytes: sorted keys, trailing newline, no NaN/Infinity —
+    # strict JSON must parse it back.
+    parsed = json.loads(rendered)
+    assert rendered.endswith("}\n")
+    assert parsed["space"] == "smoke"
+    assert parsed["configs"] == 3
+    assert parsed["evaluations"] == 10
+    assert [r["configs"] for r in parsed["schedule"]] == [3, 2]
+    # Infinite storage is encoded as the string "inf".
+    oracle = [e for e in parsed["finalists"] if e["key"] == "inf-tsl"]
+    assert oracle[0]["storage_bits"] == "inf"
+    assert oracle[0]["pareto"] is True
+    assert render_artifact(build_artifact(outcome(), "smoke")) == rendered
+
+
+def test_rendered_table_lists_finalists_and_winners():
+    table = render_frontier_table(build_artifact(outcome(), "smoke"))
+    assert "tsl64" in table and "inf-tsl" in table
+    assert "per-workload winners:" in table
+    assert "NodeApp: inf-tsl" in table

@@ -161,3 +161,64 @@ class TestDeprecatedShims:
             if "resolve_predictor(" in text or "_parse_llbp_key(" in text:
                 offenders.append(str(path.relative_to(src)))
         assert offenders == []
+
+
+class TestTslGrammar:
+    """The parameterized ``tsl:`` family added for the explore harness."""
+
+    def test_suffix_resolves_geometry(self):
+        spec = registry.parse_key("tsl:x=2,t=11,tag=10,sc=9")
+        assert spec.family == "tsl"
+        assert spec.config == registry.TslGeometry(
+            scale=2, tables=11, tag_bits=10, sc_index_bits=9)
+
+    def test_plain_tsl_is_not_a_key(self):
+        # The bare family stays out of the catalog: a tsl geometry is
+        # always spelled either as a preset (tsl64...) or with tokens.
+        with pytest.raises(KeyError):
+            registry.parse_key("tsl")
+
+    def test_malformed_suffix_is_valueerror(self):
+        for bad in ("tsl:x=3", "tsl:t=0", "tsl:t=22", "tsl:nope=1",
+                    "tsl:x"):
+            with pytest.raises(ValueError):
+                registry.parse_key(bad)
+
+    def test_pure_scale_collapses_to_preset(self):
+        for suffix, preset in (("x=1", "tsl64"), ("x=2", "tsl128"),
+                               ("x=4", "tsl256"), ("x=8", "tsl512"),
+                               ("x=16", "tsl1m"), ("", "tsl64")):
+            assert registry.canonical_key(f"tsl:{suffix}") == preset
+
+    def test_preset_spelling_builds_the_preset_predictor(self):
+        via_tokens = registry.make_predictor("tsl:x=4")
+        via_preset = registry.make_predictor("tsl256")
+        assert registry.key_of(via_tokens) == "tsl256"
+        assert via_tokens.storage_bits() == via_preset.storage_bits()
+        assert via_tokens.name == via_preset.name
+
+    def test_key_of_round_trips_parameterized_geometry(self):
+        key = "tsl:t=11,tag=10"
+        predictor = registry.make_predictor(key)
+        assert isinstance(predictor, TageScL)
+        assert registry.key_of(predictor) == key
+
+    def test_history_ladder_subsamples_with_endpoints(self):
+        from repro.predictors.presets import TAGE_HISTORY_LENGTHS
+
+        full = registry.tsl_history_lengths(21)
+        assert full == tuple(TAGE_HISTORY_LENGTHS)
+        sub = registry.tsl_history_lengths(11)
+        assert len(sub) == 11
+        assert sub[0] == full[0] and sub[-1] == full[-1]
+        assert list(sub) == sorted(set(sub))   # strictly increasing
+        assert registry.tsl_history_lengths(1) == (full[0],)
+
+    def test_canonical_key_is_idempotent_everywhere(self):
+        for key in (*registry.known_keys(), "tsl:t=11", "llbp:lat0",
+                    "llbp:unbucketed,cd_bits=8,ps=8"):
+            once = registry.canonical_key(key)
+            assert registry.canonical_key(once) == once
+
+    def test_parameterized_families(self):
+        assert registry.parameterized_families() == ("llbp", "tsl")
