@@ -19,11 +19,13 @@ the keys the array engine runs natively, each verified bit-identical to
 the Python engine in the same invocation (``bit_identical`` records the
 verdict, ``speedup_vs_python`` the ratio against ``after``).
 
-Separate ``--sweep-only`` / ``--distributed-only`` / ``--server-only``
-modes measure the batched-runner sweep, the loopback-TCP worker fleets,
-and the ``repro.server`` daemon respectively, each updating only its own
+Separate ``--sweep-only`` / ``--distributed-only`` / ``--server-only`` /
+``--families-only`` / ``--characterize-only`` modes measure the
+batched-runner sweep, the loopback-TCP worker fleets, the
+``repro.server`` daemon, the Bi-Mode/perceptron families, and the
+characterization pipeline respectively, each updating only its own
 section of the trajectory file (``batched_sweep`` / ``distributed_sweep``
-/ ``server_sweep``).
+/ ``server_sweep`` / ``new_families`` / ``characterization``).
 
 Best-of-N is deliberate: on shared/noisy machines the *minimum* runtime is
 the least contaminated estimate of the code's true cost.  The committed
@@ -58,6 +60,11 @@ QUICK_KEYS = ("engine-null", "bimodal", "tsl64", "llbp")
 #: Keys the array engine supports natively (everything else falls back
 #: to the Python loop, so measuring it there would be meaningless).
 ARRAY_KEYS = ("gshare", "tsl64", "llbp")
+
+#: The scenario-diversity families (Bi-Mode, hashed perceptron) recorded
+#: in the ``new_families`` section: python and array throughput plus the
+#: bit-identity verdict.
+NEW_FAMILY_KEYS = ("bimode", "percep")
 
 # Batched-sweep configuration: a fig09-style grid — several workloads,
 # the TAGE-SC-L baseline, both LLBP timing variants, and the scaled
@@ -156,6 +163,70 @@ def measure_array_engine(keys=ARRAY_KEYS, reps=5, trace=None):
         print(f"  {key:<12} {rates[key]:>12,} branches/sec (array)  "
               f"{'bit-identical' if same else 'DIVERGED'}", flush=True)
     return {"branches_per_sec": rates, "bit_identical": identical}
+
+
+def measure_new_families(keys=NEW_FAMILY_KEYS, reps=5, trace=None):
+    """Python vs array throughput + bit-identity for the scenario-
+    diversity families (Bi-Mode, hashed perceptron)."""
+    from repro.workloads.catalog import generate_workload
+
+    if trace is None:
+        trace = generate_workload(TRACE_NAME, TRACE_INSTRUCTIONS)
+    python_rates = measure_branches_per_sec(keys, reps=reps, trace=trace)
+    array = measure_array_engine(keys, reps=reps, trace=trace)
+    return {
+        "python_branches_per_sec": python_rates,
+        "array_branches_per_sec": array["branches_per_sec"],
+        "speedup_vs_python": {
+            key: round(array["branches_per_sec"][key] / python_rates[key], 1)
+            for key in keys},
+        "bit_identical": array["bit_identical"],
+    }
+
+
+def measure_characterization(winner_instructions=120_000):
+    """The characterization pipeline's trajectory facts: the pinned
+    metrics-only digest (the byte-determinism evidence bench gates on),
+    its cost, and the predicted-winner hit rate over the full catalog on
+    the array engine at a budget past LLBP's prefetch warmup."""
+    from repro.analysis.characterize import (BENCH_INSTRUCTIONS,
+                                             BENCH_WORKLOADS, bench_digest,
+                                             characterize)
+    from repro.experiments.runner import clear_memory_cache
+
+    t0 = time.perf_counter()
+    digest = bench_digest()
+    digest_seconds = round(time.perf_counter() - t0, 2)
+    print(f"  digest       {digest[:16]}… ({digest_seconds}s)", flush=True)
+
+    saved = os.environ.get("REPRO_ENGINE")
+    os.environ["REPRO_ENGINE"] = "array"
+    try:
+        clear_memory_cache()
+        t0 = time.perf_counter()
+        artifact = characterize(instructions=winner_instructions)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = saved
+    entries = artifact["workloads"]
+    hits = sum(entry["predicted_winner"] == entry["measured_winner"]
+               for entry in entries.values())
+    sweep_seconds = round(time.perf_counter() - t0, 2)
+    print(f"  winner rule  {hits}/{len(entries)} at "
+          f"{winner_instructions:,} instructions ({sweep_seconds}s)",
+          flush=True)
+    return {
+        "digest_workloads": ",".join(BENCH_WORKLOADS),
+        "digest_instructions": BENCH_INSTRUCTIONS,
+        "digest_sha256": digest,
+        "digest_seconds": digest_seconds,
+        "winner_instructions": winner_instructions,
+        "winner_hits": hits,
+        "winner_total": len(entries),
+        "winner_sweep_seconds": sweep_seconds,
+    }
 
 
 def measure_batched_pass(keys, trace, reps=2):
@@ -554,7 +625,52 @@ def main(argv=None):
     parser.add_argument("--server-only", action="store_true",
                         help="measure only the daemon-served sweep and "
                              "update its section of the trajectory file")
+    parser.add_argument("--families-only", action="store_true",
+                        help="measure only the Bi-Mode/perceptron families "
+                             "(python vs array) and update the new_families "
+                             "section of the trajectory file")
+    parser.add_argument("--characterize-only", action="store_true",
+                        help="measure only the characterization digest and "
+                             "winner hit rate and update the "
+                             "characterization section of the trajectory "
+                             "file")
     args = parser.parse_args(argv)
+
+    if args.families_only:
+        print("measuring new predictor families (python vs array)",
+              flush=True)
+        section = measure_new_families()
+        existing = (json.loads(args.output.read_text())
+                    if args.output.exists() else {})
+        old = existing.get("new_families")
+        if (not args.fresh and old and old.get("bit_identical")
+                and section["bit_identical"]):
+            # Best-of per key across harness invocations, same policy as
+            # the branches_per_sec sections on this noisy box.
+            for field in ("python_branches_per_sec",
+                          "array_branches_per_sec"):
+                for key, val in old.get(field, {}).items():
+                    if key in section[field]:
+                        section[field][key] = max(section[field][key], val)
+            section["speedup_vs_python"] = {
+                key: round(section["array_branches_per_sec"][key]
+                           / section["python_branches_per_sec"][key], 1)
+                for key in section["speedup_vs_python"]}
+        existing["new_families"] = section
+        args.output.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {args.output}")
+        return 0 if section["bit_identical"] else 1
+
+    if args.characterize_only:
+        print("measuring characterization digest + winner hit rate",
+              flush=True)
+        section = measure_characterization()
+        existing = (json.loads(args.output.read_text())
+                    if args.output.exists() else {})
+        existing["characterization"] = section
+        args.output.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {args.output}")
+        return 0 if section["winner_hits"] >= 10 else 1
 
     if args.server_only:
         print("measuring server sweep (daemon-served fig09 grid vs serial)",

@@ -413,6 +413,108 @@ def _smoke_array(trace, data: dict, threshold: float) -> int:
     return 0
 
 
+#: The scenario-diversity families added with the characterization
+#: pipeline.  Their committed array numbers must beat their committed
+#: Python numbers by at least the floor (measured 4.6x for Bi-Mode and
+#: over 10x for the perceptron on the reference box; the floor leaves
+#: room for slower hosts re-recording the trajectory).
+NEW_FAMILY_KEYS = ("bimode", "percep")
+NEW_FAMILY_SPEEDUP_FLOOR = 2.0
+
+
+def _gate_new_families(trace, data: dict) -> int:
+    """Gate the Bi-Mode / perceptron families: live bit-identity against
+    the Python oracle is a hard failure, and the *committed*
+    ``new_families`` numbers must hold the array-over-python floor — a
+    deterministic check on the recorded trajectory, so the gate runs
+    identically in full and smoke modes.
+    """
+    from benchmarks.perf.harness import measure_array_engine
+
+    committed = data.get("new_families", {})
+    if not committed:
+        print("no committed new_families section; run "
+              "benchmarks/perf/harness.py --families-only to record one")
+        return 1
+    if not committed.get("bit_identical"):
+        print("FAIL: committed new_families section records divergence")
+        return 1
+
+    failures = []
+    for key in NEW_FAMILY_KEYS:
+        python_rate = committed.get("python_branches_per_sec", {}).get(key)
+        array_rate = committed.get("array_branches_per_sec", {}).get(key)
+        if not python_rate or not array_rate:
+            print(f"  family:{key:<6} missing committed numbers")
+            failures.append(key)
+            continue
+        if array_rate < python_rate * NEW_FAMILY_SPEEDUP_FLOOR:
+            print(f"  family:{key:<6} committed array {array_rate:,} < "
+                  f"{NEW_FAMILY_SPEEDUP_FLOOR:.0f}x python "
+                  f"{python_rate:,}  REGRESSED")
+            failures.append(key)
+        else:
+            print(f"  family:{key:<6} committed array "
+                  f"{array_rate / python_rate:.1f}x python  ok")
+
+    measured = measure_array_engine(NEW_FAMILY_KEYS, reps=2, trace=trace)
+    if not measured["bit_identical"]:
+        print("FAIL: a new-family array implementation diverged from the "
+              "Python engine")
+        return 1
+    if failures:
+        print(f"FAIL: new-family gate failed for {', '.join(failures)}")
+        return 1
+    return 0
+
+
+#: The characterization acceptance floor: the metrics-only rule must
+#: name the measured-best family on at least this many of the 14
+#: catalog workloads (asserted live in tests/analysis, pinned here on
+#: the committed trajectory).
+CHARACTERIZE_WINNER_FLOOR = 10
+
+
+def _gate_characterization(data: dict) -> int:
+    """Gate the characterization pipeline: the pinned metrics-only
+    artifact must hash to the committed digest (the byte-determinism
+    contract CI also diffs across backends), and the committed winner
+    hit rate must hold the acceptance floor.  Both checks are
+    deterministic, so the gate runs identically in full and smoke modes.
+    """
+    from repro.analysis.characterize import (BENCH_INSTRUCTIONS,
+                                             BENCH_WORKLOADS, bench_digest)
+
+    committed = data.get("characterization", {})
+    if not committed:
+        print("no committed characterization section; run "
+              "benchmarks/perf/harness.py --characterize-only to record one")
+        return 1
+    expected = committed.get("digest_sha256")
+    if (not expected
+            or committed.get("digest_workloads") != ",".join(BENCH_WORKLOADS)
+            or committed.get("digest_instructions") != BENCH_INSTRUCTIONS):
+        print("FAIL: committed characterization section does not pin the "
+              "current BENCH_WORKLOADS/BENCH_INSTRUCTIONS; re-record with "
+              "benchmarks/perf/harness.py --characterize-only")
+        return 1
+    digest = bench_digest()
+    if digest != expected:
+        print(f"FAIL: characterization digest {digest[:16]}... != "
+              f"committed {expected[:16]}... (metric or serialisation "
+              "drift)")
+        return 1
+    hits = committed.get("winner_hits", 0)
+    total = committed.get("winner_total", 0)
+    if hits < CHARACTERIZE_WINNER_FLOOR:
+        print(f"FAIL: committed winner hit rate {hits}/{total} is below "
+              f"the {CHARACTERIZE_WINNER_FLOOR}-workload floor")
+        return 1
+    print(f"  characterize digest matches committed ({digest[:16]}...); "
+          f"winner rule {hits}/{total}  ok")
+    return 0
+
+
 def _smoke(args, baseline: dict) -> int:
     """Relative gate: key throughput normalized by this run's engine-null."""
     from benchmarks.perf.harness import TRACE_NAME, measure_branches_per_sec
@@ -456,11 +558,15 @@ def _smoke(args, baseline: dict) -> int:
         return 1
     if _smoke_array(trace, args.data, args.threshold):
         return 1
+    if _gate_new_families(trace, args.data):
+        return 1
     if _gate_distributed(args.data):
         return 1
     if _gate_server(args.data, SMOKE_INSTRUCTIONS):
         return 1
     if _gate_explore():
+        return 1
+    if _gate_characterization(args.data):
         return 1
     print("PASS: no key regressed beyond threshold (relative gate)")
     return 0
@@ -546,11 +652,15 @@ def main(argv=None):
         return 1
     if _gate_array(trace, data, args.threshold):
         return 1
+    if _gate_new_families(trace, data):
+        return 1
     if _gate_distributed(data):
         return 1
     if _gate_server(data, SMOKE_INSTRUCTIONS):
         return 1
     if _gate_explore():
+        return 1
+    if _gate_characterization(data):
         return 1
     print("PASS: no key regressed beyond threshold")
     return 0

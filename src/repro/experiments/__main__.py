@@ -51,7 +51,7 @@ from repro.parallel import backend as backend_mod
 from repro.sim import engine as engine_mod
 from repro.experiments import (
     fig01, fig02, fig03, fig05, fig09, fig10, fig11, fig12, fig13, fig14,
-    fig15, tables,
+    fig15, fig16, tables,
 )
 from repro.experiments.journal import RunJournal
 from repro.parallel.retry import RetryPolicy
@@ -85,6 +85,8 @@ _EXPERIMENTS = {
               lambda: fig14.format_rows(fig14.run()), fig14.jobs),
     "fig15": ("Fig 15 — LLBP effectiveness",
               lambda: fig15.format_rows(fig15.run()), fig15.jobs),
+    "fig16": ("Fig 16 — scenario characterization grid (extension)",
+              lambda: fig16.format_rows(fig16.run()), fig16.jobs),
 }
 
 

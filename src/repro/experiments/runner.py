@@ -61,8 +61,10 @@ def _cache_enabled() -> bool:
 
 
 def _cache_path(workload: str, instructions: int, key: str) -> Path:
-    safe = key.replace(":", "_").replace(",", "+").replace("=", "-")
-    return _cache_dir() / f"{workload}-i{instructions}-{safe}-v{RESULTS_VERSION}.json"
+    def _safe(part: str) -> str:
+        return part.replace(":", "_").replace(",", "+").replace("=", "-")
+    return _cache_dir() / (f"{_safe(workload)}-i{instructions}-{_safe(key)}"
+                           f"-v{RESULTS_VERSION}.json")
 
 
 def _to_json(result: SimulationResult) -> dict:

@@ -22,7 +22,9 @@ from typing import Union
 
 from repro.llbp.config import LLBPConfig
 from repro.predictors import registry
+from repro.predictors.bimode import BiModeConfig
 from repro.predictors.loop import LoopPredictor
+from repro.predictors.perceptron import PerceptronConfig
 from repro.predictors.presets import tage_config_64k
 from repro.predictors.registry import TslGeometry
 from repro.predictors.statistical import StatisticalCorrector
@@ -71,6 +73,24 @@ def llbp_storage_bits(config: LLBPConfig) -> int:
             + config.pb_entries * config.pattern_set_bits)
 
 
+def bimode_storage_bits(config: BiModeConfig) -> int:
+    """Bits of a ``bimode:`` geometry: choice table + two direction banks.
+
+    Mirrors ``BiModeConfig.storage_bits`` (2-bit counters throughout).
+    """
+    return (2 * (1 << config.choice_bits)
+            + 2 * 2 * (1 << config.direction_bits))
+
+
+def percep_storage_bits(config: PerceptronConfig) -> int:
+    """Bits of a ``percep:`` geometry: ``tables * rows * weight_bits``.
+
+    Mirrors ``PerceptronConfig.storage_bits``; the history register and
+    threshold are not table state.
+    """
+    return config.tables * (1 << config.row_bits) * config.weight_bits
+
+
 def storage_cost_bits(key: str) -> Union[int, float]:
     """Storage cost of ``key`` in bits, without building the predictor.
 
@@ -90,6 +110,10 @@ def storage_cost_bits(key: str) -> Union[int, float]:
         scale = {"tsl64": 1, "tsl128": 2, "tsl256": 4, "tsl512": 8,
                  "tsl1m": 16}[spec.family]
         return tsl_storage_bits(TslGeometry(scale=scale))
+    if spec.family == "bimode":
+        return bimode_storage_bits(spec.config)
+    if spec.family == "percep":
+        return percep_storage_bits(spec.config)
     if spec.family in _SMALL_FAMILIES:
         return registry.make_predictor(key).storage_bits()
     raise ValueError(f"no storage model for predictor family "

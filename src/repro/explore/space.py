@@ -29,7 +29,11 @@ Built-in spaces (``SPACES``):
 ``default``
     ``tage`` + the LLBP capacity sweep + cheap plain anchors.
 ``full``
-    ``default`` plus the LLBP context sweep.
+    ``default`` plus the LLBP context sweep and the bimode/percep
+    geometry sweeps.
+``families``
+    The PR-10 comparison families (bimode × percep geometries) plus the
+    cheap plain anchors.
 ``baselines``
     Every plain registry key, including the infinite-storage oracles —
     coverage for drift tests and a cheap "just rank the paper configs"
@@ -150,13 +154,27 @@ LLBP_CONTEXT = Template(
 PLAIN_ANCHORS = Template("plain-anchors", "plain",
                          keys=("bimodal", "gshare"))
 
+BIMODE_GEOMETRY = Template(
+    "bimode-geometry", "bimode",
+    axes=(("c=12", "c=13", "c=14"),
+          ("", "d=14", "d=15"),
+          ("", "h=10")))
+
+PERCEP_GEOMETRY = Template(
+    "percep-geometry", "percep",
+    # history must split evenly over tables-1 segments, so the table
+    # count and history length are pinned together per fragment.
+    axes=(("", "t=4,h=24", "t=12,h=44"),
+          ("r=9", "r=10", "r=11")))
+
 BASELINES = Template("baselines", "plain", keys=registry.known_keys())
 
 #: Every built-in template (drift tests iterate this, not SPACES, so a
 #: template is covered even if no built-in space currently uses it).
 TEMPLATES: Tuple[Template, ...] = (
     TSL_SCALE_SMOKE, LLBP_BUDGET_SMOKE, SMOKE_ANCHORS, TSL_GEOMETRY,
-    LLBP_CAPACITY, LLBP_CONTEXT, PLAIN_ANCHORS, BASELINES,
+    LLBP_CAPACITY, LLBP_CONTEXT, PLAIN_ANCHORS, BIMODE_GEOMETRY,
+    PERCEP_GEOMETRY, BASELINES,
 )
 
 SPACES: Dict[str, SearchSpace] = {
@@ -168,7 +186,10 @@ SPACES: Dict[str, SearchSpace] = {
         SearchSpace("default", (TSL_GEOMETRY, LLBP_CAPACITY,
                                 PLAIN_ANCHORS)),
         SearchSpace("full", (TSL_GEOMETRY, LLBP_CAPACITY, LLBP_CONTEXT,
-                             PLAIN_ANCHORS)),
+                             PLAIN_ANCHORS, BIMODE_GEOMETRY,
+                             PERCEP_GEOMETRY)),
+        SearchSpace("families", (BIMODE_GEOMETRY, PERCEP_GEOMETRY,
+                                 PLAIN_ANCHORS)),
         SearchSpace("baselines", (BASELINES,)),
     )
 }

@@ -19,7 +19,9 @@ The package provides every predictor configuration the paper evaluates:
 from repro.predictors.base import BranchPredictor, PredictorStats
 from repro.predictors.history import HistorySpec, HistorySet, GlobalHistory
 from repro.predictors.bimodal import Bimodal
+from repro.predictors.bimode import BiMode, BiModeConfig
 from repro.predictors.gshare import GShare
+from repro.predictors.perceptron import HashedPerceptron, PerceptronConfig
 from repro.predictors.tage import Tage, TageConfig, TageResult
 from repro.predictors.loop import LoopPredictor
 from repro.predictors.statistical import StatisticalCorrector
@@ -43,7 +45,11 @@ __all__ = [
     "HistorySet",
     "GlobalHistory",
     "Bimodal",
+    "BiMode",
+    "BiModeConfig",
     "GShare",
+    "HashedPerceptron",
+    "PerceptronConfig",
     "Tage",
     "TageConfig",
     "TageResult",

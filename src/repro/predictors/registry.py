@@ -35,6 +35,13 @@ design-space exploration harness (:mod:`repro.explore`)::
     tsl:t=11                   11 tagged tables subsampled from the ladder
     tsl:x=2,t=15,tag=10,sc=9   scale, table count, tag bits, SC index bits
 
+``bimode:`` and ``percep:`` name the PR-10 comparison families (plain
+``bimode`` / ``percep`` are the default geometries)::
+
+    bimode:c=14,d=14,h=12      choice bits, direction-bank bits, history
+    percep:t=4,r=11,h=24       tables, row bits, total history bits
+    percep:w=6,theta=40        weight width, training threshold
+
 The token grammar is *declarative*: each family lists flag tokens (a bare
 word pinning one config field to one value) and parameter tokens
 (``name=value`` with a parser per name).  Unknown plain keys raise
@@ -58,7 +65,13 @@ from repro.llbp.config import ContextSource, LLBPConfig
 from repro.llbp.predictor import LLBPTageScL
 from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import Bimodal
+from repro.predictors.bimode import BiMode, BiModeConfig
 from repro.predictors.gshare import GShare
+from repro.predictors.perceptron import (
+    HashedPerceptron,
+    PerceptronConfig,
+    default_threshold,
+)
 from repro.predictors.perfect import PerfectPredictor
 from repro.predictors.presets import (
     TAGE_HISTORY_LENGTHS,
@@ -76,14 +89,16 @@ from repro.predictors.tage_sc_l import TageScL, TslConfig
 class PredictorSpec:
     """A parsed predictor key: the family plus its resolved config.
 
-    ``config`` is ``None`` for families without tunable tokens (every
-    plain key except ``llbp``); for ``llbp`` it is the fully resolved
-    :class:`LLBPConfig` with every token applied, for ``tsl`` the
-    resolved :class:`TslGeometry`.
+    ``config`` is ``None`` for families without tunable tokens; for
+    ``llbp`` it is the fully resolved :class:`LLBPConfig` with every
+    token applied, for ``tsl`` the resolved :class:`TslGeometry`, and
+    for ``bimode``/``percep`` the :class:`BiModeConfig` /
+    :class:`PerceptronConfig`.
     """
 
     family: str
-    config: Union[LLBPConfig, "TslGeometry", None] = None
+    config: Union[LLBPConfig, "TslGeometry", BiModeConfig,
+                  PerceptronConfig, None] = None
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +267,103 @@ def _make_tsl(geometry: TslGeometry) -> TageScL:
     return TageScL(config)
 
 # ---------------------------------------------------------------------------
+# The ``bimode:`` and ``percep:`` token grammars.  Both follow the tsl
+# pattern: every parameter defaults to the family's standard geometry,
+# so the empty suffix collapses to the plain key.
+
+#: token name -> (BiModeConfig field, value parser, value formatter)
+_BIMODE_PARAMS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
+    ("c", "choice_bits", int, str),
+    ("d", "direction_bits", int, str),
+    ("h", "history_bits", int, str),
+)
+
+_BIMODE_PARAM_MAP = {token: (field, parse)
+                     for token, field, parse, _ in _BIMODE_PARAMS}
+
+#: token name -> (PerceptronConfig field, value parser, value formatter)
+_PERCEP_PARAMS: Tuple[Tuple[str, str, Callable, Callable], ...] = (
+    ("t", "tables", int, str),
+    ("r", "row_bits", int, str),
+    ("w", "weight_bits", int, str),
+    ("h", "history_bits", int, str),
+    ("theta", "threshold", int, str),
+)
+
+_PERCEP_PARAM_MAP = {token: (field, parse)
+                     for token, field, parse, _ in _PERCEP_PARAMS}
+
+
+def _parse_param_spec(spec: str, param_map: Dict, family: str) -> Dict:
+    """Shared ``name=value`` token parser for the bimode/percep grammars."""
+    changes: Dict[str, int] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"unknown {family} token {token!r}")
+        name, value = token.split("=", 1)
+        try:
+            field, parse = param_map[name]
+        except KeyError:
+            raise ValueError(f"unknown {family} parameter {name!r}") from None
+        changes[field] = parse(value)
+    return changes
+
+
+def parse_bimode_spec(spec: str) -> BiModeConfig:
+    """Parse a ``bimode`` key suffix (the part after ``bimode:``)."""
+    return BiModeConfig(**_parse_param_spec(spec, _BIMODE_PARAM_MAP, "bimode"))
+
+
+def bimode_key_suffix(config: BiModeConfig) -> str:
+    """Canonical token list for ``config`` (defaults omitted)."""
+    default = BiModeConfig()
+    tokens = []
+    for token, field, _, fmt in _BIMODE_PARAMS:
+        current = getattr(config, field)
+        if current != getattr(default, field):
+            tokens.append(f"{token}={fmt(current)}")
+    return ",".join(tokens)
+
+
+def bimode_canonical_key(config: BiModeConfig) -> str:
+    suffix = bimode_key_suffix(config)
+    return f"bimode:{suffix}" if suffix else "bimode"
+
+
+def parse_percep_spec(spec: str) -> PerceptronConfig:
+    """Parse a ``percep`` key suffix (the part after ``percep:``)."""
+    return PerceptronConfig(**_parse_param_spec(spec, _PERCEP_PARAM_MAP,
+                                                "percep"))
+
+
+def percep_key_suffix(config: PerceptronConfig) -> str:
+    """Canonical token list for ``config`` (defaults omitted).
+
+    An explicit ``theta=`` equal to the classic fit for the config's
+    history length is dropped: ``percep:theta=122`` and ``percep`` are
+    the same predictor, so they must share one key (and one cache file).
+    """
+    if (config.threshold is not None
+            and config.threshold == default_threshold(config.history_bits)):
+        config = dataclasses.replace(config, threshold=None)
+    default = PerceptronConfig()
+    tokens = []
+    for token, field, _, fmt in _PERCEP_PARAMS:
+        current = getattr(config, field)
+        if current != getattr(default, field):
+            tokens.append(f"{token}={fmt(current)}")
+    return ",".join(tokens)
+
+
+def percep_canonical_key(config: PerceptronConfig) -> str:
+    suffix = percep_key_suffix(config)
+    return f"percep:{suffix}" if suffix else "percep"
+
+
+# ---------------------------------------------------------------------------
 # The LLBP token grammar, declaratively.  A flag token pins one config
 # field to one value; a parameter token parses ``name=value`` into one
 # field.  Order matters for :func:`key_of`: the canonical key emits flags
@@ -376,6 +488,16 @@ def parse_key(key: str) -> PredictorSpec:
     if key.startswith("tsl:"):
         return PredictorSpec(family="tsl",
                              config=parse_tsl_spec(key[len("tsl:"):]))
+    if key == "bimode":
+        return PredictorSpec(family="bimode", config=BiModeConfig())
+    if key.startswith("bimode:"):
+        return PredictorSpec(family="bimode",
+                             config=parse_bimode_spec(key[len("bimode:"):]))
+    if key == "percep":
+        return PredictorSpec(family="percep", config=PerceptronConfig())
+    if key.startswith("percep:"):
+        return PredictorSpec(family="percep",
+                             config=parse_percep_spec(key[len("percep:"):]))
     raise KeyError(f"unknown predictor key {key!r}")
 
 
@@ -392,6 +514,10 @@ def canonical_key(key: str) -> str:
         return f"llbp:{suffix}" if suffix else "llbp"
     if spec.family == "tsl":
         return tsl_canonical_key(spec.config)
+    if spec.family == "bimode":
+        return bimode_canonical_key(spec.config)
+    if spec.family == "percep":
+        return percep_canonical_key(spec.config)
     return spec.family
 
 
@@ -402,6 +528,10 @@ def make_predictor(key: str) -> BranchPredictor:
         return LLBPTageScL(spec.config)
     if spec.family == "tsl":
         return _make_tsl(spec.config)
+    if spec.family == "bimode":
+        return BiMode(spec.config)
+    if spec.family == "percep":
+        return HashedPerceptron(spec.config)
     return _SIMPLE_FACTORIES[spec.family]()
 
 
@@ -426,6 +556,10 @@ def key_of(predictor: BranchPredictor) -> str:
         except KeyError:
             raise ValueError(
                 f"no registry key for TageScL preset named {name!r}") from None
+    if type(predictor) is BiMode:
+        return bimode_canonical_key(predictor.config)
+    if type(predictor) is HashedPerceptron:
+        return percep_canonical_key(predictor.config)
     if type(predictor) is Bimodal:
         return "bimodal"
     if type(predictor) is GShare:
@@ -436,10 +570,10 @@ def key_of(predictor: BranchPredictor) -> str:
 
 
 def known_keys() -> Tuple[str, ...]:
-    """Every plain key the registry accepts (``llbp`` takes a suffix too)."""
-    return tuple(_SIMPLE_FACTORIES) + ("llbp",)
+    """Every plain key the registry accepts (some take a suffix too)."""
+    return tuple(_SIMPLE_FACTORIES) + ("llbp", "bimode", "percep")
 
 
 def parameterized_families() -> Tuple[str, ...]:
     """Families that accept a ``:``-separated token suffix."""
-    return ("llbp", "tsl")
+    return ("llbp", "tsl", "bimode", "percep")

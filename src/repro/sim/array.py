@@ -37,7 +37,9 @@ import numpy as np
 from repro import telemetry
 from repro.llbp.predictor import LLBPTageScL
 from repro.predictors.base import BranchPredictor
+from repro.predictors.bimode import BiMode
 from repro.predictors.gshare import GShare
+from repro.predictors.perceptron import HashedPerceptron
 from repro.predictors.tage import Tage
 from repro.predictors.tage_sc_l import TageScL
 from repro.sim import columns as columns_mod
@@ -57,6 +59,10 @@ def unsupported_reason(predictor: BranchPredictor) -> Optional[str]:
     fused code inlines, which would silently diverge from the oracle.
     """
     if type(predictor) is GShare:
+        return None
+    if type(predictor) is BiMode:
+        return None
+    if type(predictor) is HashedPerceptron:
         return None
     if type(predictor) is TageScL:
         return _tsl_reason(predictor)
@@ -441,6 +447,127 @@ def _compile_gshare(p: GShare):
     return namespace["_sim"]
 
 
+def _compile_bimode(p: BiMode):
+    """Generate ``_sim(pcs, takens, cols, csplit, per_pc_misp)`` for bimode.
+
+    ``cols`` holds ``[choice_index, direction_index]`` per conditional
+    branch (:func:`repro.sim.columns.bimode_columns`); the body is
+    ``BiMode.predict`` + ``train`` with the bank selected into a local.
+    """
+    lines = []
+    add = lines.append
+    add("def _sim(pcs, takens, cols, csplit, per_pc_misp):")
+    add("    misp_all = 0")
+    add("    measured_misp = 0")
+    add("    misp_get = per_pc_misp.get")
+    add("    n = len(pcs)")
+    add("    ci_col = cols[:, 0]")
+    add("    di_col = cols[:, 1]")
+    add(f"    CH = {_CHUNK}")
+
+    def body(measuring):
+        b = []
+        a = b.append
+        a("cv = CHOICE[ci]")
+        a("ct = cv >= 0")
+        a("B = TB if ct else NB")
+        a("v = B[di]")
+        a("if (v >= 0) != taken:")
+        a("    misp_all += 1")
+        if measuring:
+            a("    measured_misp += 1")
+            a("    per_pc_misp[pc] = misp_get(pc, 0) + 1")
+        # Choice trains toward the outcome unless it missed but the
+        # selected bank covered for it (BiMode.train).
+        a("if not (ct != taken and (v >= 0) == taken):")
+        a("    if taken:")
+        a("        if cv < 1: CHOICE[ci] = cv + 1")
+        a("    elif cv > -2: CHOICE[ci] = cv - 1")
+        a("if taken:")
+        a("    if v < 1: B[di] = v + 1")
+        a("elif v > -2: B[di] = v - 1")
+        return ["            " + x for x in b]
+
+    for first, lo_expr, hi_expr in ((True, "0, csplit", "csplit"),
+                                    (False, "csplit, n", "n")):
+        add(f"    for lo in range({lo_expr}, CH):")
+        add("        hi = lo + CH")
+        add(f"        if hi > {hi_expr}: hi = {hi_expr}")
+        add("        for pc, taken, ci, di in zip(pcs[lo:hi].tolist(),"
+            " takens[lo:hi].tolist(), ci_col[lo:hi].tolist(),"
+            " di_col[lo:hi].tolist()):")
+        lines.extend(body(not first))
+    add("    return measured_misp, misp_all")
+
+    namespace = {"CHOICE": p.choice, "TB": p.taken_bank,
+                 "NB": p.nottaken_bank}
+    exec(compile("\n".join(lines), "<array-sim-bimode>", "exec"), namespace)
+    return namespace["_sim"]
+
+
+def _compile_perceptron(p: HashedPerceptron):
+    """Generate ``_sim(pcs, takens, cols, csplit, per_pc_misp)``.
+
+    ``cols`` holds one table index per column
+    (:func:`repro.sim.columns.percep_columns`); the dot product, the
+    threshold test and the per-table saturating updates are unrolled
+    with the weight lists bound by identity.
+    """
+    num_tables = p.config.tables
+    theta = p._theta
+    wmin, wmax = p._wmin, p._wmax
+    idx_names = [f"i{t}" for t in range(num_tables)]
+
+    lines = []
+    add = lines.append
+    add("def _sim(pcs, takens, cols, csplit, per_pc_misp):")
+    add("    misp_all = 0")
+    add("    measured_misp = 0")
+    add("    misp_get = per_pc_misp.get")
+    add("    n = len(pcs)")
+    for t in range(num_tables):
+        add(f"    c{t} = cols[:, {t}]")
+    add(f"    CH = {_CHUNK}")
+
+    def body(measuring):
+        b = []
+        a = b.append
+        a("total = " + " + ".join(
+            f"W{t}[i{t}]" for t in range(num_tables)))
+        a("if (total >= 0) != taken:")
+        a("    misp_all += 1")
+        if measuring:
+            a("    measured_misp += 1")
+            a("    per_pc_misp[pc] = misp_get(pc, 0) + 1")
+        # Threshold training: update on a miss or a weak (|sum|<=theta)
+        # hit; +1 steps can only violate the upper clamp, -1 the lower.
+        a(f"if (total >= 0) != taken or {-theta} <= total <= {theta}:")
+        a("    if taken:")
+        for t in range(num_tables):
+            a(f"        w = W{t}[i{t}] + 1")
+            a(f"        if w <= {wmax}: W{t}[i{t}] = w")
+        a("    else:")
+        for t in range(num_tables):
+            a(f"        w = W{t}[i{t}] - 1")
+            a(f"        if w >= {wmin}: W{t}[i{t}] = w")
+        return ["            " + x for x in b]
+
+    zip_args = ", ".join(f"c{t}[lo:hi].tolist()" for t in range(num_tables))
+    for first, lo_expr, hi_expr in ((True, "0, csplit", "csplit"),
+                                    (False, "csplit, n", "n")):
+        add(f"    for lo in range({lo_expr}, CH):")
+        add("        hi = lo + CH")
+        add(f"        if hi > {hi_expr}: hi = {hi_expr}")
+        add(f"        for pc, taken, {', '.join(idx_names)} in zip("
+            f"pcs[lo:hi].tolist(), takens[lo:hi].tolist(), {zip_args}):")
+        lines.extend(body(not first))
+    add("    return measured_misp, misp_all")
+
+    namespace = {f"W{t}": p.tables[t] for t in range(num_tables)}
+    exec(compile("\n".join(lines), "<array-sim-percep>", "exec"), namespace)
+    return namespace["_sim"]
+
+
 def _compile_llbp(p: LLBPTageScL):
     """Generate ``_sim(pcs, types, takens, gaps, rows, split, per_pc_misp)``.
 
@@ -718,6 +845,20 @@ def _iter_rows(cols: np.ndarray, chunk: int = _CHUNK):
         cols[lo:lo + chunk].tolist() for lo in range(0, len(cols), chunk))
 
 
+def _outcome_history(takens_cond: np.ndarray, history_bits: int,
+                     hist_mask: int) -> int:
+    """The global outcome-shift register after the whole trace.
+
+    The fused loops read history from precomputed columns; rebuild the
+    register from the last ``history_bits`` conditional outcomes exactly
+    as per-branch shifting would have left it.
+    """
+    history = 0
+    for taken in takens_cond[-history_bits:].tolist():
+        history = ((history << 1) | taken) & hist_mask
+    return history
+
+
 def _restore_sc_history(sc, takens_cond: np.ndarray) -> None:
     """Re-derive the corrector's 64-bit outcome history after a run.
 
@@ -808,10 +949,22 @@ def run_simulation_array(
             pcs_cond, takens_cond, idx, csplit, per_pc_misp)
         # The fused loop reads history from the column; re-derive the
         # final register value so predictor state matches the oracle.
-        history = 0
-        for taken in takens_cond[-predictor.history_bits:].tolist():
-            history = ((history << 1) | taken) & predictor._hist_mask
-        predictor.history = history
+        predictor.history = _outcome_history(
+            takens_cond, predictor.history_bits, predictor._hist_mask)
+    elif type(predictor) is BiMode:
+        cols = columns_mod.bimode_columns(trace, predictor)
+        sim = _compile_bimode(predictor)
+        measured_misp, misp_all = sim(
+            pcs_cond, takens_cond, cols, csplit, per_pc_misp)
+        predictor.history = _outcome_history(
+            takens_cond, predictor.config.history_bits, predictor._hist_mask)
+    elif type(predictor) is HashedPerceptron:
+        cols = columns_mod.percep_columns(trace, predictor)
+        sim = _compile_perceptron(predictor)
+        measured_misp, misp_all = sim(
+            pcs_cond, takens_cond, cols, csplit, per_pc_misp)
+        predictor.history = _outcome_history(
+            takens_cond, predictor.config.history_bits, predictor._hist_mask)
     elif type(predictor) is TageScL:
         cols = columns_mod.tsl_columns(trace, predictor)
         sim = _compile_tsl(predictor)

@@ -59,6 +59,18 @@ def gshare_key(predictor) -> str:
     return f"cols/gshare:{predictor.index_bits}:{predictor.history_bits}"
 
 
+def bimode_key(predictor) -> str:
+    cfg = predictor.config
+    return (f"cols/bimode:{cfg.choice_bits}:{cfg.direction_bits}"
+            f":{cfg.history_bits}")
+
+
+def percep_key(predictor) -> str:
+    cfg = predictor.config
+    # weight_bits / threshold never enter the index computation.
+    return f"cols/percep:{cfg.tables}:{cfg.row_bits}:{cfg.history_bits}"
+
+
 def _column_dtype(max_bits: int):
     return np.uint16 if max_bits <= 16 else np.uint32
 
@@ -73,6 +85,19 @@ def gshare_index_column(trace: Trace, index_bits: int,
     copy of the taken column.  Equivalent to replaying
     ``GShare._index`` / ``update_history`` per branch.
     """
+    pcs, hist = _cond_history_lanes(trace, history_bits)
+    idx = ((pcs >> np.uint64(2)) ^ hist) & np.uint64((1 << index_bits) - 1)
+    return idx.astype(np.uint32)
+
+
+def _cond_history_lanes(trace: Trace,
+                        history_bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(pcs, hist)`` per conditional branch for outcome-shift histories.
+
+    ``hist[i]`` is the global history register (conditional outcomes
+    only, newest in bit 0) as seen *before* conditional branch ``i`` —
+    the same bit-lane construction :func:`gshare_index_column` uses.
+    """
     cond = trace.types == 0
     pcs = trace.pcs[cond].astype(np.uint64)
     takens = trace.takens[cond].astype(np.uint64)
@@ -82,8 +107,46 @@ def gshare_index_column(trace: Trace, index_bits: int,
         if k + 1 >= n:
             break
         hist[k + 1:] |= takens[:n - k - 1] << np.uint64(k)
-    idx = ((pcs >> np.uint64(2)) ^ hist) & np.uint64((1 << index_bits) - 1)
-    return idx.astype(np.uint32)
+    return pcs, hist
+
+
+def bimode_index_columns(trace: Trace, config) -> np.ndarray:
+    """Per-conditional-branch ``[choice_index, direction_index]`` rows.
+
+    Equivalent to replaying ``BiMode._indices`` / ``update_history``
+    per branch.
+    """
+    pcs, hist = _cond_history_lanes(trace, config.history_bits)
+    pcx = pcs >> np.uint64(2)
+    out = np.empty((len(pcs), 2), dtype=np.uint32)
+    out[:, 0] = (pcx & np.uint64((1 << config.choice_bits) - 1)).astype(np.uint32)
+    out[:, 1] = ((pcx ^ hist)
+                 & np.uint64((1 << config.direction_bits) - 1)).astype(np.uint32)
+    return out
+
+
+def percep_index_columns(trace: Trace, config) -> np.ndarray:
+    """Per-conditional-branch perceptron table indices, one column per table.
+
+    Column 0 is the PC-indexed bias table; column ``t`` XOR-folds history
+    segment ``t - 1`` into the PC, exactly as
+    ``HashedPerceptron._indices`` does scalar-wise.
+    """
+    pcs, hist = _cond_history_lanes(trace, config.history_bits)
+    rmask = np.uint64((1 << config.row_bits) - 1)
+    seg_bits = config.segment_bits
+    seg_mask = np.uint64((1 << seg_bits) - 1)
+    base = (pcs >> np.uint64(2)) & rmask
+    out = np.empty((len(pcs), config.tables), dtype=np.uint32)
+    out[:, 0] = base.astype(np.uint32)
+    for t in range(1, config.tables):
+        seg = (hist >> np.uint64((t - 1) * seg_bits)) & seg_mask
+        folded = np.zeros_like(seg)
+        while seg.any():
+            folded ^= seg & rmask
+            seg = seg >> np.uint64(config.row_bits)
+        out[:, t] = ((base ^ folded) & rmask).astype(np.uint32)
+    return out
 
 
 def _record_columns(trace: Trace, tsl_config,
@@ -172,6 +235,26 @@ def gshare_columns(trace: Trace, predictor) -> np.ndarray:
     if cached is None:
         cached = gshare_index_column(
             trace, predictor.index_bits, predictor.history_bits)
+        trace.aux[key] = cached
+    return cached
+
+
+def bimode_columns(trace: Trace, predictor) -> np.ndarray:
+    """Per-conditional-branch bimode indices (memoised, not persisted)."""
+    key = bimode_key(predictor)
+    cached = trace.aux.get(key)
+    if cached is None:
+        cached = bimode_index_columns(trace, predictor.config)
+        trace.aux[key] = cached
+    return cached
+
+
+def percep_columns(trace: Trace, predictor) -> np.ndarray:
+    """Per-conditional-branch perceptron indices (memoised, not persisted)."""
+    key = percep_key(predictor)
+    cached = trace.aux.get(key)
+    if cached is None:
+        cached = percep_index_columns(trace, predictor.config)
         trace.aux[key] = cached
     return cached
 

@@ -1,0 +1,272 @@
+"""Adversarial stress workloads: the ``adv:`` catalog family.
+
+Where the catalog's synthetic server programs echo *real* workloads,
+these generators are targeted microbenchmarks in the style of the
+Firestorm/Oryon predictor-dissection work: each one is built to defeat
+one structural assumption of one predictor family, so the
+characterization pipeline (:mod:`repro.analysis.characterize`) has
+scenarios where the family ranking inverts.
+
+Three stressor kinds, each a deterministic trace generator:
+
+``adv:hist[,l=L]``
+    Defeats history length ``L``.  A single branch cycles a de Bruijn
+    sequence of order ``L + 1`` (period ``2^(L+1)``): every ``L``-bit
+    history window occurs with *both* continuations, so any predictor
+    keyed on ≤ ``L`` outcome bits — gshare's 14-bit register at the
+    default ``l=14`` — cannot beat a coin flip, while longer histories
+    disambiguate.
+
+``adv:alias[,bits=B,n=N]``
+    Aliases a ``B``-bit PC-indexed table.  ``N`` branches with fixed
+    opposite biases sit exactly ``2^(B+2)`` apart in the address space,
+    so ``(pc >> 2) & (2^B - 1)`` is identical for all of them: Bi-Mode's
+    choice table (and any bimodal-style table of ≤ ``B`` index bits)
+    collapses to a single thrashing counter, while a wider geometry
+    (``bimode:c=16,d=16``) keeps the branches apart.  Visit order is
+    pseudo-random so global history cannot stand in for the PC.
+
+``adv:xor[,k=K]``
+    Saturates perceptron threshold training.  A driver branch takes
+    pseudo-random outcomes; a victim branch computes the parity of the
+    last ``K`` driver outcomes.  At the default ``K=5`` the parity
+    inputs span two history *segments* of the default hashed perceptron
+    (positions 0..8 against 8-bit segments), and parity across segments
+    is not representable by any sum of per-segment weights — the victim
+    stays a coin flip for the perceptron (every miss re-trains all
+    tables, pinning the weights against the threshold), while gshare's
+    per-window counters memorise the parity table outright.  The random
+    driver itself is a noise floor every family shares.
+
+Names follow the registry key conventions: tokens comma-separated,
+defaults omitted from the canonical spelling
+(:func:`canonical_adv_name`).  Specs are resolved through
+:func:`repro.workloads.catalog.get_spec` and traces cached through the
+same trace store as catalog workloads; ``adv:`` names are *not* listed
+in ``workload_names()`` — the catalog proper stays the paper's 14.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Tuple
+
+from repro.common.rng import XorShift32
+from repro.traces.trace import Trace, TraceBuilder
+from repro.traces.types import BranchType
+
+ADV_PREFIX = "adv:"
+
+_KINDS = ("hist", "alias", "xor")
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversarialSpec:
+    """A parsed ``adv:`` name; field relevance depends on ``kind``."""
+
+    kind: str
+    history_length: int = 14   # hist: the defeated history length L
+    table_bits: int = 13       # alias: index bits of the aliased table
+    branches: int = 64         # alias: colliding branch count
+    parity: int = 5            # xor: driver outcomes XORed into the victim
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown adversarial kind {self.kind!r}; "
+                             f"known: {', '.join(_KINDS)}")
+        if not 1 <= self.history_length <= 20:
+            raise ValueError("history length (l=) must be in [1, 20]")
+        if not 4 <= self.table_bits <= 20:
+            raise ValueError("table bits (bits=) must be in [4, 20]")
+        if not 2 <= self.branches <= 4096:
+            raise ValueError("branch count (n=) must be in [2, 4096]")
+        if not 1 <= self.parity <= 16:
+            raise ValueError("parity span (k=) must be in [1, 16]")
+
+    @property
+    def name(self) -> str:
+        return canonical_adv_name(self)
+
+    @property
+    def seed(self) -> int:
+        """Stable per-spec seed (the trace store keys on it)."""
+        return zlib.crc32(self.name.encode()) & 0x7FFFFFFF
+
+    @property
+    def description(self) -> str:
+        if self.kind == "hist":
+            return (f"de Bruijn order {self.history_length + 1}: defeats "
+                    f"histories up to {self.history_length} bits")
+        if self.kind == "alias":
+            return (f"{self.branches} opposite-bias branches colliding in "
+                    f"{self.table_bits}-bit PC-indexed tables")
+        return (f"victim = parity of last {self.parity} driver outcomes: "
+                "cross-segment XOR defeats additive weight tables")
+
+
+#: kind -> ((token, field, parser), ...) — the ``adv:`` suffix grammar.
+_ADV_PARAMS: Dict[str, Tuple[Tuple[str, str, type], ...]] = {
+    "hist": (("l", "history_length", int),),
+    "alias": (("bits", "table_bits", int), ("n", "branches", int)),
+    "xor": (("k", "parity", int),),
+}
+
+
+def is_adversarial(name: str) -> bool:
+    return name.startswith(ADV_PREFIX)
+
+
+def parse_adv_name(name: str) -> AdversarialSpec:
+    """``adv:kind[,tok=val...]`` → :class:`AdversarialSpec`.
+
+    Raises ``KeyError`` for an unknown kind (same contract as
+    ``catalog.get_spec``) and ``ValueError`` for malformed tokens or
+    out-of-range values.
+    """
+    if not is_adversarial(name):
+        raise KeyError(f"not an adversarial workload name: {name!r}")
+    body = name[len(ADV_PREFIX):]
+    tokens = [token.strip() for token in body.split(",")]
+    kind = tokens[0]
+    if kind not in _ADV_PARAMS:
+        raise KeyError(
+            f"unknown adversarial workload kind {kind!r}; "
+            f"known: {', '.join(_KINDS)}")
+    param_map = {token: (field, parse)
+                 for token, field, parse in _ADV_PARAMS[kind]}
+    changes: Dict[str, int] = {}
+    for token in tokens[1:]:
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"unknown adv token {token!r}")
+        key, value = token.split("=", 1)
+        try:
+            field, parse = param_map[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown adv:{kind} parameter {key!r}") from None
+        changes[field] = parse(value)
+    return AdversarialSpec(kind=kind, **changes)
+
+
+def canonical_adv_name(spec: AdversarialSpec) -> str:
+    """Canonical spelling: kind first, tokens in grammar order, defaults
+    omitted — one name (and one trace-store entry) per distinct trace."""
+    default = AdversarialSpec(kind=spec.kind)
+    tokens = [spec.kind]
+    for token, field, _ in _ADV_PARAMS[spec.kind]:
+        current = getattr(spec, field)
+        if current != getattr(default, field):
+            tokens.append(f"{token}={current}")
+    return ADV_PREFIX + ",".join(tokens)
+
+
+def adversarial_names() -> List[str]:
+    """The default stress suite: one canonical name per stressor kind."""
+    return ["adv:hist", "adv:alias", "adv:xor"]
+
+
+# ---------------------------------------------------------------------------
+# Generators.  All deterministic in (spec, instructions); targets follow
+# the generator convention of fixed fall-through-relative addresses.
+
+def _de_bruijn_bits(order: int) -> List[int]:
+    """A binary de Bruijn sequence of the given order (length 2^order).
+
+    Martin's prefer-one greedy walk: starting from the all-zeros window,
+    append 1 whenever the resulting window is unvisited, else 0.  Cycled
+    periodically, every ``order``-bit window occurs exactly once per
+    period — so every ``(order-1)``-bit window occurs twice, once per
+    continuation, which is the ambiguity the hist stressor relies on.
+    """
+    length = 1 << order
+    mask = length - 1
+    seen = bytearray(length)
+    seen[0] = 1
+    state = 0
+    bits: List[int] = []
+    for _ in range(length):
+        candidate = ((state << 1) | 1) & mask
+        if not seen[candidate]:
+            bit = 1
+        else:
+            bit = 0
+            candidate = (state << 1) & mask
+        seen[candidate] = 1
+        bits.append(bit)
+        state = candidate
+    return bits
+
+
+def _generate_hist(spec: AdversarialSpec, instructions: int,
+                   builder: TraceBuilder) -> None:
+    pattern = _de_bruijn_bits(spec.history_length + 1)
+    period = len(pattern)
+    branch_pc = 0x40000
+    jump_pc = 0x40040
+    i = 0
+    while builder.num_instructions < instructions:
+        taken = bool(pattern[i % period])
+        builder.append(branch_pc, BranchType.COND, taken, branch_pc + 0x40, 3)
+        builder.append(jump_pc, BranchType.JUMP, True, branch_pc, 3)
+        i += 1
+
+
+def _generate_alias(spec: AdversarialSpec, instructions: int,
+                    builder: TraceBuilder) -> None:
+    rng = XorShift32(spec.seed)
+    base = 0x200000
+    stride = 1 << (spec.table_bits + 2)
+    dispatch_pc = 0x1FF000
+    while builder.num_instructions < instructions:
+        j = rng.below(spec.branches)
+        pc = base + j * stride
+        # Indirect dispatch models the handler jump table and keeps the
+        # visit order out of the conditional history register.
+        builder.append(dispatch_pc, BranchType.IND_JUMP, True, pc, 2)
+        builder.append(pc, BranchType.COND, j % 2 == 0, pc + 0x40, 2)
+
+
+def _generate_xor(spec: AdversarialSpec, instructions: int,
+                  builder: TraceBuilder) -> None:
+    # The driver must be high-entropy: any periodic pattern lets the
+    # perceptron identify the cycle phase from a single segment window
+    # and sidestep the parity.  The price is a shared noise floor (the
+    # driver itself is a coin flip for everyone); the victim carries the
+    # discriminating signal — its parity window spans two history
+    # segments, so per-window counters (gshare, TAGE) memorise it while
+    # any sum of per-segment weights cannot express it.
+    rng = XorShift32(spec.seed)
+    driver_pc = 0x300000
+    victim_pc = 0x300100
+    jump_pc = 0x300140
+    window: List[int] = [0] * spec.parity
+    while builder.num_instructions < instructions:
+        driver = rng.below(2)
+        window.append(driver)
+        del window[0]
+        victim = 0
+        for bit in window:
+            victim ^= bit
+        builder.append(driver_pc, BranchType.COND, bool(driver),
+                       driver_pc + 0x40, 2)
+        builder.append(victim_pc, BranchType.COND, bool(victim),
+                       victim_pc + 0x40, 2)
+        builder.append(jump_pc, BranchType.JUMP, True, driver_pc, 2)
+
+
+_GENERATORS = {
+    "hist": _generate_hist,
+    "alias": _generate_alias,
+    "xor": _generate_xor,
+}
+
+
+def generate_adversarial(spec: AdversarialSpec, instructions: int) -> Trace:
+    """Generate the stress trace for ``spec`` (deterministic, uncached —
+    :func:`repro.workloads.catalog.generate_workload` adds caching)."""
+    builder = TraceBuilder(name=spec.name)
+    _GENERATORS[spec.kind](spec, instructions, builder)
+    return builder.build()

@@ -24,6 +24,8 @@ from repro import telemetry
 from repro.traces import store
 from repro.traces.io import load_trace, save_trace
 from repro.traces.trace import Trace
+from repro.workloads import adversarial
+from repro.workloads.adversarial import AdversarialSpec
 from repro.workloads.builder import WorkloadSpec, build_program
 from repro.workloads.generator import generate_trace
 
@@ -136,12 +138,18 @@ def workload_names() -> List[str]:
     return list(WORKLOADS.keys())
 
 
-def get_spec(name: str) -> WorkloadSpec:
+def get_spec(name: str):
+    """The spec behind ``name``: a catalog :class:`WorkloadSpec` or, for
+    ``adv:`` names, a parsed :class:`AdversarialSpec` (both carry the
+    ``name``/``seed``/``description`` the runner and workers rely on)."""
+    if adversarial.is_adversarial(name):
+        return adversarial.parse_adv_name(name)
     try:
         return WORKLOADS[name]
     except KeyError:
         raise KeyError(
-            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)} "
+            f"(plus generated {adversarial.ADV_PREFIX}* stressors)"
         ) from None
 
 
@@ -167,6 +175,9 @@ def generate_workload(
     as a miss and regenerated, never trusted.
     """
     spec = get_spec(name)
+    if isinstance(spec, AdversarialSpec):
+        # One canonical spelling per stressor keeps one cache entry.
+        name = spec.name
     trace_store = None
     cache_path = None
     if use_cache:
@@ -179,14 +190,18 @@ def generate_workload(
                                instructions=instructions, hit=True)
                 return cached
         else:
-            cache_path = directory / f"{name}-s{spec.seed}-i{instructions}-v4.npz"
+            safe = name.replace(":", "_").replace(",", "+").replace("=", "-")
+            cache_path = directory / f"{safe}-s{spec.seed}-i{instructions}-v4.npz"
             if cache_path.exists():
                 telemetry.emit("trace.cache", workload=name,
                                instructions=instructions, hit=True)
                 return load_trace(cache_path)
     start = time.perf_counter() if telemetry.enabled() else 0.0
-    program = build_program(spec)
-    trace = generate_trace(program, instructions, seed=spec.seed, name=name)
+    if isinstance(spec, AdversarialSpec):
+        trace = adversarial.generate_adversarial(spec, instructions)
+    else:
+        program = build_program(spec)
+        trace = generate_trace(program, instructions, seed=spec.seed, name=name)
     telemetry.emit("trace.cache", workload=name, instructions=instructions,
                    hit=False, seconds=time.perf_counter() - start)
     if trace_store is not None:

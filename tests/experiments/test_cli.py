@@ -13,7 +13,7 @@ def _fast(isolated_caches):
 def test_registry_covers_every_table_and_figure():
     expected = {"table1", "table2", "table3", "fig01", "fig02", "fig03",
                 "fig05", "fig09", "fig10", "fig11", "fig12", "fig13",
-                "fig14", "fig15"}
+                "fig14", "fig15", "fig16"}
     assert set(_EXPERIMENTS) == expected
 
 

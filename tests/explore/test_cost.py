@@ -31,6 +31,10 @@ PARAMETERIZED_KEYS = (
     "llbp:unbucketed,ps=32,cd_bits=7",
     "llbp:w=16,d=0",
     "llbp:pb=128",
+    "bimode:c=14,d=15",
+    "bimode:c=10,d=10,h=8",
+    "percep:t=4,h=24,r=11",
+    "percep:w=6,theta=40",
 )
 
 

@@ -4,8 +4,9 @@ Self-equivalence tests (parallel == serial, specialized == reference
 loop) cannot catch a change that shifts *both* sides the same way — a
 subtle predictor or engine edit that alters every path at once.  This
 suite pins the absolute MPKI of all 14 catalog workloads under three
-predictors (``gshare``, the 64K TAGE-SC-L baseline, and LLBP) at a
-small trace length, against committed JSON fixtures.
+predictors (``gshare``, Bi-Mode, the hashed perceptron, the 64K
+TAGE-SC-L baseline, and LLBP) at a small trace length, against
+committed JSON fixtures.
 
 The numbers are pure functions of (workload seed, trace length,
 predictor construction): integer misprediction counts divided by the
@@ -30,7 +31,7 @@ from repro.workloads.catalog import generate_workload, workload_names
 GOLDEN_PATH = Path(__file__).parent / "golden_mpki.json"
 
 #: tage_sc_l_64 is the ``tsl64`` runner key.
-KEYS = ("gshare", "tsl64", "llbp")
+KEYS = ("gshare", "bimode", "percep", "tsl64", "llbp")
 
 #: Small enough that the full 14x3 matrix simulates in a few seconds,
 #: long enough that every predictor is past its cold-start regime.

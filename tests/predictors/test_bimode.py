@@ -1,0 +1,120 @@
+"""Bi-Mode predictor: choice steering, training policy, registry keys."""
+
+import pytest
+
+from repro.predictors.bimode import BiMode, BiModeConfig
+from repro.predictors.registry import canonical_key, key_of, make_predictor
+from repro.sim.engine import run_simulation
+
+
+def _step(predictor, pc, taken):
+    meta = predictor.predict(pc)   # BiMode's meta IS the bool prediction
+    predictor.train(pc, taken, meta)
+    predictor.update_history(pc, 0, taken, 0)
+    return meta
+
+
+def test_learns_history_correlation():
+    """Alternating outcome at one PC: the direction banks separate the
+    two history contexts even though the bias is exactly 50/50."""
+    predictor = BiMode(BiModeConfig(choice_bits=8, direction_bits=8,
+                                    history_bits=8))
+    taken = True
+    correct = 0
+    for i in range(400):
+        if _step(predictor, 0x100, taken) == taken and i > 100:
+            correct += 1
+        taken = not taken
+    assert correct > 280
+
+
+def test_choice_steers_biased_branches_apart():
+    """Two fully biased branches in a tiny direction bank: the choice
+    table sends them to opposite banks, so neither thrashes."""
+    config = BiModeConfig(choice_bits=8, direction_bits=4, history_bits=1)
+    predictor = BiMode(config)
+    pc_a, pc_b = 0x100, 0x100 + (1 << 6)
+    correct = 0
+    for i in range(300):
+        a = _step(predictor, pc_a, True) is True
+        b = _step(predictor, pc_b, False) is False
+        if i >= 50:
+            correct += a + b
+    assert correct > 2 * 250 * 0.95
+
+
+def test_choice_update_guard():
+    """The choice counter must NOT train toward the outcome when it
+    steered wrong but the selected bank predicted right."""
+    config = BiModeConfig(choice_bits=4, direction_bits=4, history_bits=4)
+    predictor = BiMode(config)
+    ci, di = predictor._indices(0x100)
+    # Force: choice says not-taken, not-taken bank correctly says taken.
+    predictor.choice[ci] = -1
+    predictor.nottaken_bank[di] = 1
+    meta = predictor.predict(0x100)
+    assert meta is True
+    predictor.train(0x100, True, meta)
+    assert predictor.choice[ci] == -1      # guard held
+    assert predictor.nottaken_bank[di] == 1  # already saturated
+
+
+def test_banks_biased_at_reset():
+    predictor = BiMode(BiModeConfig(choice_bits=4, direction_bits=4,
+                                    history_bits=4))
+    assert int(predictor.taken_bank[0]) == 0      # weakly taken
+    assert int(predictor.nottaken_bank[0]) == -1  # weakly not taken
+
+
+def test_history_only_tracks_conditionals():
+    predictor = BiMode()
+    predictor.update_history(0x100, 2, True, 0)  # a call
+    assert predictor.history == 0
+    predictor.update_history(0x100, 0, True, 0)
+    assert predictor.history == 1
+
+
+def test_storage_bits():
+    config = BiModeConfig(choice_bits=10, direction_bits=11, history_bits=11)
+    # 2-bit choice counters + two 2-bit direction banks.
+    assert BiMode(config).storage_bits() == 2 * 1024 + 2 * 2 * 2048
+    assert config.storage_bits() == BiMode(config).storage_bits()
+
+
+def test_invalid_geometry():
+    for bad in (dict(choice_bits=0), dict(direction_bits=0),
+                dict(history_bits=0), dict(history_bits=65)):
+        with pytest.raises(ValueError):
+            BiModeConfig(**bad)
+
+
+def test_beats_gshare_on_bias_dominated_mix(pattern_trace):
+    from repro.predictors.gshare import GShare
+
+    bimode = run_simulation(pattern_trace, BiMode())
+    gshare = run_simulation(pattern_trace, GShare())
+    assert bimode.mpki <= gshare.mpki * 1.2
+
+
+class TestRegistryIntegration:
+    def test_plain_key_is_default_config(self):
+        predictor = make_predictor("bimode")
+        assert isinstance(predictor, BiMode)
+        assert predictor.config == BiModeConfig()
+
+    def test_key_round_trip(self):
+        key = "bimode:c=10,d=11,h=9"
+        predictor = make_predictor(key)
+        assert predictor.config == BiModeConfig(
+            choice_bits=10, direction_bits=11, history_bits=9)
+        assert key_of(predictor) == key
+
+    def test_defaults_drop_from_canonical_key(self):
+        assert canonical_key("bimode:c=13,d=13,h=13") == "bimode"
+        assert canonical_key("bimode:h=10,c=13") == "bimode:h=10"
+
+    def test_malformed_suffix(self):
+        with pytest.raises(ValueError):
+            make_predictor("bimode:zz=3")
+        with pytest.raises(ValueError):
+            make_predictor("bimode:c")

@@ -1,0 +1,132 @@
+"""Hashed perceptron: threshold training, folding, registry keys."""
+
+import pytest
+
+from repro.predictors.perceptron import (
+    HashedPerceptron,
+    PerceptronConfig,
+    default_threshold,
+    fold_segment,
+)
+from repro.predictors.registry import canonical_key, key_of, make_predictor
+
+
+def _step(predictor, pc, taken):
+    meta = predictor.predict(pc)
+    predictor.train(pc, taken, meta)
+    predictor.update_history(pc, 0, taken, 0)
+    return meta.pred
+
+
+def test_learns_linearly_separable_history():
+    """Outcome = history bit 3: one weight carries the whole signal."""
+    predictor = HashedPerceptron(PerceptronConfig(
+        tables=3, row_bits=6, history_bits=8))
+    outcomes = []
+    correct = 0
+    for i in range(600):
+        taken = outcomes[-4] if len(outcomes) >= 4 else True
+        if _step(predictor, 0x100, taken) == taken and i > 200:
+            correct += 1
+        outcomes.append(taken)
+        # keep the stream moving so the history register has entropy
+        outcomes[-1] = (i % 3 == 0) if len(outcomes) < 4 else taken
+    assert correct > 350
+
+
+def test_default_threshold_fit():
+    assert default_threshold(56) == int(1.93 * 56 + 14)
+    config = PerceptronConfig()
+    assert config.effective_threshold() == default_threshold(56)
+    assert PerceptronConfig(threshold=40).effective_threshold() == 40
+
+
+def test_threshold_training_updates_low_confidence_hits():
+    """A correct prediction below theta still trains every weight."""
+    predictor = HashedPerceptron(PerceptronConfig(
+        tables=2, row_bits=4, history_bits=4, threshold=10))
+    meta = predictor.predict(0x100)
+    assert meta.total == 0 and meta.pred is True
+    predictor.train(0x100, True, meta)   # correct, but |0| <= theta
+    assert sum(sum(t) for t in predictor.tables) == 2  # both weights bumped
+
+
+def test_confident_hit_does_not_train():
+    predictor = HashedPerceptron(PerceptronConfig(
+        tables=2, row_bits=4, history_bits=4, threshold=2))
+    for _ in range(10):
+        _step(predictor, 0x100, True)
+    snapshot = [list(t) for t in predictor.tables]
+    meta = predictor.predict(0x100)
+    assert meta.pred is True and meta.total > 2
+    predictor.train(0x100, True, meta)
+    assert [list(t) for t in predictor.tables] == snapshot
+
+
+def test_weights_clamp_at_width():
+    config = PerceptronConfig(tables=2, row_bits=4, history_bits=4,
+                              weight_bits=4, threshold=1000)
+    predictor = HashedPerceptron(config)
+    for _ in range(100):
+        _step(predictor, 0x100, True)
+    flat = [w for table in predictor.tables for w in table]
+    assert max(flat) == 7           # 2^(4-1) - 1
+    for _ in range(200):
+        _step(predictor, 0x100, False)
+    flat = [w for table in predictor.tables for w in table]
+    assert min(flat) == -8          # -2^(4-1)
+
+
+def test_fold_segment():
+    assert fold_segment(0, 10) == 0
+    assert fold_segment(0b1111, 2) == 0b11 ^ 0b11
+    assert fold_segment(0x3FF, 10) == 0x3FF
+    assert fold_segment(0xFFFFF, 10) == 0
+
+
+def test_history_only_tracks_conditionals():
+    predictor = HashedPerceptron()
+    predictor.update_history(0x100, 2, True, 0)  # a call
+    assert predictor.history == 0
+    predictor.update_history(0x100, 0, True, 0)
+    assert predictor.history == 1
+
+
+def test_storage_bits():
+    config = PerceptronConfig(tables=4, row_bits=8, weight_bits=6,
+                              history_bits=24)
+    assert HashedPerceptron(config).storage_bits() == 4 * 256 * 6
+    assert config.storage_bits() == 4 * 256 * 6
+
+
+def test_invalid_geometry():
+    for bad in (dict(tables=1), dict(row_bits=0), dict(weight_bits=1),
+                dict(history_bits=0), dict(threshold=0),
+                dict(tables=4, history_bits=10)):  # 10 % 3 != 0
+        with pytest.raises(ValueError):
+            PerceptronConfig(**bad)
+
+
+class TestRegistryIntegration:
+    def test_plain_key_is_default_config(self):
+        predictor = make_predictor("percep")
+        assert isinstance(predictor, HashedPerceptron)
+        assert predictor.config == PerceptronConfig()
+
+    def test_key_round_trip(self):
+        key = "percep:t=4,r=9,w=6,h=24"
+        predictor = make_predictor(key)
+        assert predictor.config == PerceptronConfig(
+            tables=4, row_bits=9, weight_bits=6, history_bits=24)
+        assert key_of(predictor) == key
+
+    def test_default_theta_drops_from_canonical_key(self):
+        derived = default_threshold(56)
+        assert canonical_key(f"percep:theta={derived}") == "percep"
+        assert canonical_key("percep:theta=40") == "percep:theta=40"
+
+    def test_malformed_suffix(self):
+        with pytest.raises(ValueError):
+            make_predictor("percep:zz=3")
+        with pytest.raises(ValueError):
+            make_predictor("percep:t=4,h=10")  # 10 % 3 != 0

@@ -27,7 +27,8 @@ class TestParseKey:
         for key in registry.known_keys():
             spec = registry.parse_key(key)
             assert spec.family == key
-            assert (spec.config is None) == (key != "llbp")
+            assert (spec.config is None) == (
+                key not in ("llbp", "bimode", "percep"))
 
     def test_unknown_plain_key_is_keyerror(self):
         with pytest.raises(KeyError):
@@ -221,4 +222,5 @@ class TestTslGrammar:
             assert registry.canonical_key(once) == once
 
     def test_parameterized_families(self):
-        assert registry.parameterized_families() == ("llbp", "tsl")
+        assert registry.parameterized_families() == (
+            "llbp", "tsl", "bimode", "percep")

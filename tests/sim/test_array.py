@@ -25,7 +25,7 @@ from repro.sim.multi import run_simulation_batch
 from repro.workloads.catalog import generate_workload, workload_names
 
 #: The families the array engine supports, by registry key.
-KEYS = ("gshare", "tsl64", "llbp")
+KEYS = ("gshare", "bimode", "percep", "tsl64", "llbp")
 
 #: Same budget as the golden-MPKI fixtures: small enough that the full
 #: 14x3 matrix stays in test-suite territory, long enough to exercise

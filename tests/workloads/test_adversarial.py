@@ -1,0 +1,131 @@
+"""Adversarial stressors: grammar, determinism, targeted degradation.
+
+The degradation tests are the module's reason to exist: each stressor
+must actually defeat its target family (high MPKI) while a control —
+the same family with the defeated parameter widened, or a family with
+a different structure — stays healthy.  Absolute thresholds are
+generous; the measured gaps are an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.predictors.registry import make_predictor
+from repro.sim.engine import run_simulation
+from repro.workloads import catalog
+from repro.workloads.adversarial import (
+    AdversarialSpec,
+    adversarial_names,
+    canonical_adv_name,
+    generate_adversarial,
+    is_adversarial,
+    parse_adv_name,
+)
+
+INSTRUCTIONS = 60_000
+
+
+def _mpki(workload: str, key: str) -> float:
+    trace = generate_adversarial(parse_adv_name(workload), INSTRUCTIONS)
+    return run_simulation(trace, make_predictor(key)).mpki
+
+
+class TestGrammar:
+    def test_canonical_names_round_trip(self):
+        for name in adversarial_names():
+            spec = parse_adv_name(name)
+            assert spec.name == name
+            assert canonical_adv_name(spec) == name
+
+    def test_defaults_drop_from_canonical_name(self):
+        assert parse_adv_name("adv:hist,l=14").name == "adv:hist"
+        assert parse_adv_name("adv:alias,bits=13,n=64").name == "adv:alias"
+        assert parse_adv_name("adv:alias,n=32").name == "adv:alias,n=32"
+        assert parse_adv_name("adv:xor, k=7").name == "adv:xor,k=7"
+
+    def test_unknown_kind_is_keyerror(self):
+        with pytest.raises(KeyError):
+            parse_adv_name("adv:nope")
+        with pytest.raises(KeyError):
+            parse_adv_name("gshare")  # not an adv: name at all
+
+    def test_bad_tokens_are_valueerror(self):
+        for bad in ("adv:hist,zz=3", "adv:hist,l", "adv:hist,bits=10",
+                    "adv:xor,k=0", "adv:hist,l=99", "adv:alias,n=1"):
+            with pytest.raises(ValueError):
+                parse_adv_name(bad)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialSpec(kind="nope")
+        with pytest.raises(ValueError):
+            AdversarialSpec(kind="alias", table_bits=3)
+
+    def test_seed_is_stable_per_name(self):
+        a = parse_adv_name("adv:xor")
+        b = parse_adv_name("adv:xor,k=5")  # same canonical name
+        assert a.seed == b.seed
+        assert a.seed != parse_adv_name("adv:xor,k=7").seed
+
+
+class TestCatalogIntegration:
+    def test_get_spec_dispatches(self):
+        spec = catalog.get_spec("adv:hist,l=8")
+        assert isinstance(spec, AdversarialSpec)
+        assert spec.history_length == 8
+        assert is_adversarial(spec.name)
+
+    def test_catalog_proper_stays_fourteen(self):
+        assert len(catalog.workload_names()) == 14
+        assert not any(is_adversarial(n) for n in catalog.workload_names())
+
+    def test_generate_workload_canonicalizes_spelling(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = catalog.generate_workload("adv:xor,k=5", 4_000)
+        b = catalog.generate_workload("adv:xor", 4_000)
+        assert a.name == b.name == "adv:xor"
+        assert np.array_equal(a.pcs, b.pcs)
+        assert np.array_equal(a.takens, b.takens)
+
+    def test_unknown_workload_error_mentions_stressors(self):
+        with pytest.raises(KeyError, match="adv:"):
+            catalog.get_spec("NoSuchWorkload")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", adversarial_names())
+    def test_regeneration_is_bit_identical(self, name):
+        spec = parse_adv_name(name)
+        a = generate_adversarial(spec, 20_000)
+        b = generate_adversarial(spec, 20_000)
+        for field in ("pcs", "types", "takens", "targets", "gaps"):
+            assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+    @pytest.mark.parametrize("name", adversarial_names())
+    def test_budget_is_respected(self, name):
+        trace = generate_adversarial(parse_adv_name(name), 20_000)
+        assert trace.num_instructions >= 20_000
+        assert trace.num_conditional > 0
+
+
+class TestDegradation:
+    def test_hist_defeats_short_history(self):
+        """The de Bruijn stream blinds gshare's 14-bit window; the same
+        stressor at l=4 is fully learnable by the same predictor."""
+        assert _mpki("adv:hist", "gshare") > 50.0
+        assert _mpki("adv:hist,l=4", "gshare") < 5.0
+
+    def test_alias_defeats_table_geometry(self):
+        """64 opposite-bias branches folded onto one 13-bit index thrash
+        Bi-Mode; widening the tables past the collision stride fixes it."""
+        assert _mpki("adv:alias", "bimode") > 50.0
+        assert _mpki("adv:alias", "bimode:c=16,d=16") < 10.0
+
+    def test_xor_defeats_additive_weights(self):
+        """Cross-segment parity is inseparable for summed per-segment
+        weights: the perceptron sits at the coin-flip floor while
+        gshare's per-window counters memorise the parity table."""
+        assert _mpki("adv:xor", "percep") > 1.3 * _mpki("adv:xor", "gshare")
